@@ -1,0 +1,1 @@
+bench/calibrate.ml: Array Mdh_lowering Mdh_machine Mdh_reports Mdh_runtime Mdh_support Mdh_workloads Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Array Calibrate Mdh_reports Micro Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Mdh_reports Mdh_runtime Mdh_support Measure Printf Staged Test Time Toolkit

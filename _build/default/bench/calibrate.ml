@@ -1,0 +1,96 @@
+(* Model calibration: check the cost model's *qualitative* predictions
+   against wall-clock measurements on the machine we actually have. The
+   modelled devices (A100/Xeon-Gold) are unavailable, but the mechanisms
+   the model credits — cache tiling, parallelisation — are measurable on
+   the host with the specialised float kernels. For each mechanism we print
+   the model-predicted ratio on a host-shaped device description next to
+   the measured ratio; agreement in *direction and rough magnitude* is the
+   claim (Hoefler-Belli CI-bounded measurement). *)
+
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+module Kernels = Mdh_runtime.Kernels
+module Pool = Mdh_runtime.Pool
+module W = Mdh_workloads.Workload
+module Stats = Mdh_support.Stats
+module Table = Mdh_support.Table
+
+(* a host-shaped device: this machine's core count, generic cache sizes *)
+let host_device workers =
+  { Device.device_name = "this-host";
+    kind = Device.Cpu;
+    layers = [| { layer_name = "cores"; max_units = workers } |];
+    peak_gflops = 8.0 *. float_of_int workers;
+    (* a few GFLOP/s per core for boxed-float OCaml loops *)
+    mem =
+      [| { level_name = "DRAM"; capacity_bytes = 8 * 1024 * 1024 * 1024; bandwidth_gbs = 12.0 };
+         { level_name = "L2"; capacity_bytes = 1024 * 1024; bandwidth_gbs = 80.0 };
+         { level_name = "L1"; capacity_bytes = 32 * 1024; bandwidth_gbs = 300.0 } |];
+    link_gbs = None;
+    launch_overhead_s = 1e-6;
+    saturation_units = max 1 (workers / 2);
+    min_bw_fraction = 0.5;
+    compute_saturation_units = workers }
+
+let measure f = (Stats.measure_until_ci ~rel_ci:0.1 ~max_samples:30 (fun () -> snd (Mdh_support.Util.time_it f))).Stats.mean
+
+let run () =
+  Mdh_reports.Report.section
+    "Model calibration: predicted vs measured mechanism ratios on this host";
+  Pool.with_pool (fun pool ->
+      let workers = Pool.num_workers pool in
+      let dev = host_device workers in
+      let table =
+        Table.create
+          ~headers:[ "mechanism"; "workload"; "predicted ratio"; "measured ratio" ]
+      in
+      (* --- cache tiling: matmul naive vs 32-tiled, sequential --- *)
+      let n = 320 in
+      let md = W.to_md_hom Mdh_workloads.Linalg.matmul [ ("I", n); ("J", n); ("K", n) ] in
+      let seq tiles =
+        { Schedule.tile_sizes = tiles; parallel_dims = []; used_layers = [] }
+      in
+      let predicted =
+        match
+          ( Cost.seconds md dev Cost.plain_codegen (seq [| n; n; n |]),
+            Cost.seconds md dev Cost.plain_codegen (seq [| 32; 32; 32 |]) )
+        with
+        | Ok untiled, Ok tiled -> untiled /. tiled
+        | _ -> nan
+      in
+      let rng = Mdh_support.Rng.create 3 in
+      let a = Array.init (n * n) (fun _ -> Mdh_support.Rng.float rng 1.0) in
+      let b = Array.init (n * n) (fun _ -> Mdh_support.Rng.float rng 1.0) in
+      let t_naive = measure (fun () -> Kernels.matmul_seq ~m:n ~n ~k:n a b) in
+      let t_tiled = measure (fun () -> Kernels.matmul_tiled ~tile:32 ~m:n ~n ~k:n a b) in
+      Table.add_row table
+        [ "cache tiling"; Printf.sprintf "matmul %d^3" n;
+          Printf.sprintf "%.2fx" predicted;
+          Printf.sprintf "%.2fx" (t_naive /. t_tiled) ];
+      (* --- parallelisation: matvec across the pool --- *)
+      let m = 2048 and k = 2048 in
+      let mdv = W.to_md_hom Mdh_workloads.Linalg.matvec [ ("I", m); ("K", k) ] in
+      let predicted_par =
+        match
+          ( Cost.seconds mdv dev Cost.plain_codegen (Schedule.sequential mdv),
+            Cost.seconds mdv dev Cost.plain_codegen
+              { Schedule.tile_sizes = [| m; k |]; parallel_dims = [ 0 ];
+                used_layers = [ 0 ] } )
+        with
+        | Ok s, Ok p -> s /. p
+        | _ -> nan
+      in
+      let mat = Array.init (m * k) (fun _ -> Mdh_support.Rng.float rng 1.0) in
+      let vec = Array.init k (fun _ -> Mdh_support.Rng.float rng 1.0) in
+      let t_seq = measure (fun () -> Kernels.matvec_seq ~m ~k mat vec) in
+      let t_par = measure (fun () -> Kernels.matvec_par pool ~m ~k mat vec) in
+      Table.add_row table
+        [ "parallel for"; Printf.sprintf "matvec %dx%d (%d workers)" m k workers;
+          Printf.sprintf "%.2fx" predicted_par;
+          Printf.sprintf "%.2fx" (t_seq /. t_par) ];
+      Table.print table;
+      print_newline ();
+      print_endline
+        "Direction and rough magnitude are the claim; the host device model\n\
+         uses generic per-core numbers, not a calibrated fit.")

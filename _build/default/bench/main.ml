@@ -1,0 +1,51 @@
+(* Benchmark driver: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index) plus the ablations and the
+   wall-clock micro-benchmarks.
+
+     dune exec bench/main.exe                   -- everything
+     dune exec bench/main.exe figure3           -- Figure 3 table
+     dune exec bench/main.exe figure4 [gpu|cpu] -- Figure 4 speedups
+     dune exec bench/main.exe failure-matrix    -- Section 5.2 failures
+     dune exec bench/main.exe prl-study         -- PRL Inp.1/Inp.2 study
+     dune exec bench/main.exe ablation-openacc-tiling
+     dune exec bench/main.exe ablation-tiling
+     dune exec bench/main.exe ablation-reduction-parallel
+     dune exec bench/main.exe ablation-tuning-budget
+     dune exec bench/main.exe micro             -- Bechamel kernels *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [figure3|figure4 [gpu|cpu]|failure-matrix|prl-study|\n\
+    \                 ablation-openacc-tiling|ablation-tiling|\n\
+    \                 ablation-reduction-parallel|ablation-tuning-budget|micro]";
+  exit 2
+
+let everything () =
+  Mdh_reports.Figure3.run ();
+  Mdh_reports.Figure4.run `Both;
+  Mdh_reports.Failures.run ();
+  Mdh_reports.Prl_study.run ();
+  Mdh_reports.Portability.run ();
+  Mdh_reports.Transfer_study.run ();
+  Mdh_reports.Ablations.run ();
+  Calibrate.run ();
+  Micro.run ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> everything ()
+  | [ _; "figure3" ] -> Mdh_reports.Figure3.run ()
+  | [ _; "figure4" ] -> Mdh_reports.Figure4.run `Both
+  | [ _; "figure4"; "gpu" ] | [ _; "figure4"; "--device"; "gpu" ] -> Mdh_reports.Figure4.run `Gpu
+  | [ _; "figure4"; "cpu" ] | [ _; "figure4"; "--device"; "cpu" ] -> Mdh_reports.Figure4.run `Cpu
+  | [ _; "failure-matrix" ] -> Mdh_reports.Failures.run ()
+  | [ _; "prl-study" ] -> Mdh_reports.Prl_study.run ()
+  | [ _; "portability" ] -> Mdh_reports.Portability.run ()
+  | [ _; "transfer-study" ] -> Mdh_reports.Transfer_study.run ()
+  | [ _; "ablation-openacc-tiling" ] -> Mdh_reports.Ablations.openacc_tiling ()
+  | [ _; "ablation-tiling" ] -> Mdh_reports.Ablations.tiling ()
+  | [ _; "ablation-reduction-parallel" ] -> Mdh_reports.Ablations.reduction_parallel ()
+  | [ _; "ablation-tuning-budget" ] -> Mdh_reports.Ablations.tuning_budget ()
+  | [ _; "micro" ] -> Micro.run ()
+  | [ _; "calibrate" ] -> Calibrate.run ()
+  | _ -> usage ()

@@ -1,0 +1,286 @@
+(* mdhc — the MDH directive compiler driver.
+
+   Inspect, validate, auto-tune, cost and execute the catalogue's
+   directive programs:
+
+     mdhc list
+     mdhc devices
+     mdhc show matvec
+     mdhc tune matmul --device cpu --budget 400
+     mdhc compare ccsd(t) --device gpu
+     mdhc run prl --parallel *)
+
+open Cmdliner
+module W = Mdh_workloads.Workload
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+module Common = Mdh_baselines.Common
+module Buffer = Mdh_tensor.Buffer
+
+let find_workload name =
+  match Mdh_workloads.Catalog.find name with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown workload %S; try: %s" name
+         (String.concat ", "
+            (List.map
+               (fun (w : W.t) -> String.lowercase_ascii w.W.wl_name)
+               Mdh_workloads.Catalog.all)))
+
+let device_of_string = function
+  | "gpu" -> Ok Device.a100_like
+  | "cpu" -> Ok Device.xeon6140_like
+  | s -> Error (Printf.sprintf "unknown device %S (gpu|cpu)" s)
+
+let params_of (w : W.t) = function
+  | "test" -> Ok w.W.test_params
+  | inp -> (
+    match List.assoc_opt inp w.W.paper_inputs with
+    | Some params -> Ok params
+    | None -> Error (Printf.sprintf "workload has no input set %S" inp))
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    prerr_endline ("mdhc: " ^ msg);
+    exit 1
+
+(* --- arguments --- *)
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let device_arg =
+  Arg.(value & opt string "cpu" & info [ "device"; "d" ] ~docv:"gpu|cpu")
+
+let input_arg =
+  Arg.(value & opt string "1" & info [ "input"; "i" ] ~docv:"1|2|test")
+
+let budget_arg = Arg.(value & opt int 400 & info [ "budget"; "b" ] ~docv:"EVALS")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
+let parallel_arg = Arg.(value & flag & info [ "parallel"; "p" ])
+
+(* --- commands --- *)
+
+let list_cmd =
+  let doc = "List the workload catalogue (Figure 3 plus MBBS)." in
+  let run () =
+    List.iter
+      (fun (w : W.t) ->
+        Printf.printf "%-12s %-18s inputs: %s\n" w.W.wl_name w.W.domain
+          (String.concat ", " (List.map fst w.W.paper_inputs)))
+      Mdh_workloads.Catalog.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let devices_cmd =
+  let doc = "Describe the modelled devices." in
+  let run () =
+    Format.printf "%a@.%a@." Device.pp Device.a100_like Device.pp Device.xeon6140_like
+  in
+  Cmd.v (Cmd.info "devices" ~doc) Term.(const run $ const ())
+
+let show_cmd =
+  let doc = "Print a workload's directive, its transformation to the MDH DSL \
+             representation, and its Figure 3 characteristics. With --plan, \
+             also print the auto-tuned execution plan per device." in
+  let plan_arg = Arg.(value & flag & info [ "plan" ]) in
+  let run name input plan =
+    let w = or_die (find_workload name) in
+    let params = or_die (params_of w input) in
+    let dir = w.W.make params in
+    Format.printf "%a@.@." Mdh_directive.Directive.pp dir;
+    let md = Mdh_directive.Transform.to_md_hom_exn dir in
+    Format.printf "%a@." Mdh_core.Md_hom.pp md;
+    let c = Mdh_core.Md_hom.characteristics md in
+    Printf.printf
+      "\ncharacteristics: %dD iteration space, %d reduction dim(s), accesses %s\n"
+      c.Mdh_core.Md_hom.iter_space_rank c.Mdh_core.Md_hom.n_reduction_dims
+      (match c.Mdh_core.Md_hom.injective_accesses with
+      | Some true -> "injective"
+      | Some false -> "non-injective"
+      | None -> "undecided");
+    if plan then
+      List.iter
+        (fun dev ->
+          match Mdh_atf.Tuner.tune md dev Cost.tuned_codegen with
+          | Error e -> or_die (Error e)
+          | Ok t -> (
+            match Mdh_lowering.Plan.build md dev t.Mdh_atf.Tuner.schedule with
+            | Error e -> or_die (Error e)
+            | Ok plan ->
+              Format.printf "@.execution plan on %s (parallelism %d):@.%a@."
+                dev.Device.device_name
+                (Mdh_lowering.Plan.parallelism plan)
+                Mdh_lowering.Plan.pp plan))
+        [ Device.a100_like; Device.xeon6140_like ]
+  in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ workload_arg $ input_arg $ plan_arg)
+
+let tune_cmd =
+  let doc = "Auto-tune a workload's schedule with ATF and report the result." in
+  let run name device input budget seed =
+    let w = or_die (find_workload name) in
+    let dev = or_die (device_of_string device) in
+    let params = or_die (params_of w input) in
+    let md = W.to_md_hom w params in
+    match Mdh_atf.Tuner.tune ~budget ~seed md dev Cost.tuned_codegen with
+    | Error msg -> or_die (Error msg)
+    | Ok t ->
+      Format.printf "best schedule: %a@." Schedule.pp t.Mdh_atf.Tuner.schedule;
+      Printf.printf "estimated time: %s\n"
+        (Format.asprintf "%.6gs" t.Mdh_atf.Tuner.estimated_s);
+      Printf.printf "evaluations: %d, improvements: %d\n"
+        t.Mdh_atf.Tuner.search.Mdh_atf.Search.evaluations
+        (List.length t.Mdh_atf.Tuner.search.Mdh_atf.Search.trace);
+      List.iter
+        (fun (eval, cost) -> Printf.printf "  #%-5d -> %.6gs\n" eval cost)
+        t.Mdh_atf.Tuner.search.Mdh_atf.Search.trace
+  in
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(const run $ workload_arg $ device_arg $ input_arg $ budget_arg $ seed_arg)
+
+let compare_cmd =
+  let doc = "Compare every system of the Figure 4 line-up on one workload." in
+  let run name device input =
+    let w = or_die (find_workload name) in
+    let dev = or_die (device_of_string device) in
+    let params = or_die (params_of w input) in
+    let md = W.to_md_hom w params in
+    let systems =
+      ("MDH", fun () -> Mdh_baselines.Registry.mdh.Common.compile ~tuned:true md dev)
+      :: List.map
+           (fun (sys : Common.system) ->
+             (sys.Common.sys_name, fun () -> sys.Common.compile ~tuned:true md dev))
+           (Mdh_baselines.Registry.baselines_for dev)
+    in
+    List.iter
+      (fun (name, compile) ->
+        match compile () with
+        | Ok o ->
+          Format.printf "%-10s %-14s %.6gs  (%a)@." name o.Common.system
+            (Common.seconds o) Schedule.pp o.Common.schedule
+        | Error f -> Format.printf "%-10s %a@." name Common.pp_failure f)
+      systems
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ workload_arg $ device_arg $ input_arg)
+
+let codegen_cmd =
+  let doc = "Generate kernel source (CUDA for the GPU device, OpenCL for the \
+             CPU device) from a workload's auto-tuned schedule. With --host, \
+             emit the complete driver program(s) instead." in
+  let host_arg = Arg.(value & flag & info [ "host" ]) in
+  let openmp_arg = Arg.(value & flag & info [ "openmp" ]) in
+  let run name device input budget host openmp =
+    let w = or_die (find_workload name) in
+    let dev = or_die (device_of_string device) in
+    let params = or_die (params_of w input) in
+    let md = W.to_md_hom w params in
+    if openmp then begin
+      (match Mdh_codegen.Openmp_c.generate md with
+      | Ok src -> print_string src
+      | Error e -> or_die (Error (Format.asprintf "%a" Mdh_codegen.Kernel.pp_error e)));
+      exit 0
+    end;
+    let schedule =
+      match Mdh_atf.Tuner.tune ~budget md dev Cost.tuned_codegen with
+      | Ok t -> t.Mdh_atf.Tuner.schedule
+      | Error e -> or_die (Error e)
+    in
+    let dialect =
+      match dev.Device.kind with
+      | Device.Gpu -> Mdh_codegen.Kernel.cuda
+      | Device.Cpu -> Mdh_codegen.Kernel.opencl
+    in
+    if host then
+      match Mdh_codegen.Host.generate dialect md dev schedule with
+      | Ok bundle ->
+        if bundle.Mdh_codegen.Host.kernel_file <> bundle.Mdh_codegen.Host.host_file then begin
+          Printf.printf "/* ===== %s ===== */\n" bundle.Mdh_codegen.Host.kernel_file;
+          print_string bundle.Mdh_codegen.Host.kernel_source;
+          Printf.printf "\n/* ===== %s ===== */\n" bundle.Mdh_codegen.Host.host_file
+        end;
+        print_string bundle.Mdh_codegen.Host.host_source
+      | Error e -> or_die (Error (Format.asprintf "%a" Mdh_codegen.Kernel.pp_error e))
+    else
+      match Mdh_codegen.Kernel.generate dialect md dev schedule with
+      | Ok src -> print_string src
+      | Error e -> or_die (Error (Format.asprintf "%a" Mdh_codegen.Kernel.pp_error e))
+  in
+  Cmd.v (Cmd.info "codegen" ~doc)
+    Term.(
+      const run $ workload_arg $ device_arg $ input_arg $ budget_arg $ host_arg
+      $ openmp_arg)
+
+let compile_cmd =
+  let doc = "Parse a textual #pragma mdh source file, validate it, and print \
+             the transformed MDH representation. Parameters are given as \
+             NAME=VALUE." in
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let params_arg =
+    Arg.(value & opt_all (pair ~sep:'=' string int) [] & info [ "param"; "P" ] ~docv:"NAME=VALUE")
+  in
+  let run file params =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    match Mdh_pragma.Parser.parse ~name:(Filename.remove_extension (Filename.basename file)) ~params src with
+    | Error e -> or_die (Error (Mdh_pragma.Parser.error_to_string e))
+    | Ok dir -> (
+      match Mdh_directive.Transform.to_md_hom dir with
+      | Error e -> or_die (Error (Mdh_directive.Validate.error_to_string e))
+      | Ok md ->
+        Format.printf "%a@.@.%a@." Mdh_directive.Directive.pp dir Mdh_core.Md_hom.pp md)
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ file_arg $ params_arg)
+
+let run_cmd =
+  let doc = "Execute a workload (test sizes by default) on the host and check \
+             the result against the reference semantics." in
+  let run name input seed parallel =
+    let w = or_die (find_workload name) in
+    let params = or_die (params_of w input) in
+    let md = W.to_md_hom w params in
+    let env = w.W.gen params ~seed in
+    let (result_env, elapsed) =
+      if parallel then
+        Mdh_runtime.Pool.with_pool (fun pool ->
+            let sched =
+              { (Schedule.sequential md) with
+                Schedule.parallel_dims = Mdh_lowering.Lower.parallelisable_dims md }
+            in
+            Mdh_support.Util.time_it (fun () ->
+                or_die
+                  (Result.map_error (fun e -> "parallel execution: " ^ e)
+                     (Mdh_runtime.Exec.run pool md sched env))))
+      else Mdh_support.Util.time_it (fun () -> Mdh_runtime.Exec.run_seq md env)
+    in
+    Printf.printf "executed %s in %.4fs (%s)\n" md.Mdh_core.Md_hom.hom_name elapsed
+      (if parallel then "parallel" else "sequential");
+    (match w.W.reference with
+    | None -> print_endline "no independent oracle for this workload"
+    | Some oracle ->
+      let expected = oracle params env in
+      let ok =
+        List.for_all
+          (fun (o : Mdh_core.Md_hom.output) ->
+            Mdh_tensor.Dense.approx_equal ~rel:1e-3 ~abs:1e-4
+              (Buffer.data (Buffer.env_find result_env o.Mdh_core.Md_hom.out_name))
+              (Buffer.data (Buffer.env_find expected o.Mdh_core.Md_hom.out_name)))
+          md.Mdh_core.Md_hom.outputs
+      in
+      print_endline (if ok then "result check: OK" else "result check: MISMATCH");
+      if not ok then exit 1)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ workload_arg $ Arg.(value & opt string "test" & info [ "input"; "i" ]) $ seed_arg $ parallel_arg)
+
+let () =
+  let doc = "MDH directive compiler driver (paper reproduction)" in
+  let info = Cmd.info "mdhc" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; devices_cmd; show_cmd; tune_cmd; compare_cmd; run_cmd;
+            compile_cmd; codegen_cmd ]))

@@ -1,0 +1,1 @@
+examples/deep_learning_mcc.ml: Format List Mdh_baselines Mdh_core Mdh_directive Mdh_lowering Mdh_machine Mdh_runtime Mdh_support Mdh_tensor Mdh_workloads Option Printf

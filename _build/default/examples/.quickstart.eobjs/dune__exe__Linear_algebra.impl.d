@@ -1,0 +1,1 @@
+examples/linear_algebra.ml: Array List Mdh_baselines Mdh_core Mdh_machine Mdh_runtime Mdh_support Mdh_tensor Mdh_workloads Printf

@@ -1,0 +1,1 @@
+examples/mbbs_prefix_sum.ml: Array Format Mdh_baselines Mdh_core Mdh_directive Mdh_machine Mdh_runtime Mdh_support Mdh_tensor Mdh_workloads Printf

@@ -1,0 +1,1 @@
+examples/mbbs_prefix_sum.mli:

@@ -1,0 +1,1 @@
+examples/pragma_frontend.ml: Format Mdh_core Mdh_directive Mdh_pragma Mdh_tensor Mdh_workloads Option Printf

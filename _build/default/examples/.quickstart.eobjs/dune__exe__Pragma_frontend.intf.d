@@ -1,0 +1,1 @@
+examples/pragma_frontend.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mdh_atf Mdh_combine Mdh_core Mdh_directive Mdh_expr Mdh_lowering Mdh_machine Mdh_runtime Mdh_support Mdh_tensor Mdh_workloads Printf

@@ -1,0 +1,1 @@
+examples/stencil_jacobi.ml: Array Format List Mdh_atf Mdh_core Mdh_lowering Mdh_machine Mdh_runtime Mdh_support Mdh_tensor Mdh_workloads Option Printf

@@ -1,0 +1,1 @@
+lib/atf/param.ml: Format List

@@ -1,0 +1,1 @@
+lib/atf/search.ml: Float List Mdh_support Param Space

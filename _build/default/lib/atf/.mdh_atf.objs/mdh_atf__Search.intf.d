@@ -1,0 +1,1 @@
+lib/atf/search.mli: Param Space

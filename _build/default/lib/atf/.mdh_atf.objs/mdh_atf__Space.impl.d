@@ -1,0 +1,1 @@
+lib/atf/space.ml: Array List Mdh_support Param

@@ -1,0 +1,1 @@
+lib/atf/space.mli: Mdh_support Param

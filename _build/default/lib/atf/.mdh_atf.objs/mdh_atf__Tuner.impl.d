@@ -1,0 +1,1 @@
+lib/atf/tuner.ml: Array Fun List Mdh_core Mdh_lowering Mdh_machine Param Printf Search Space String

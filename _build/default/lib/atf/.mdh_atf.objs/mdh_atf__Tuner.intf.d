@@ -1,0 +1,1 @@
+lib/atf/tuner.mli: Mdh_core Mdh_lowering Mdh_machine Param Search Space Stdlib

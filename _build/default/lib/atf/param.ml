@@ -1,0 +1,18 @@
+type config = (string * int) list
+
+type t = {
+  p_name : string;
+  domain : config -> int list;
+}
+
+let independent name values = { p_name = name; domain = (fun _ -> values) }
+let dependent name domain = { p_name = name; domain }
+
+let value config name = List.assoc name config
+
+let pp_config ppf config =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (name, v) -> Format.fprintf ppf "%s=%d" name v))
+    config

@@ -1,0 +1,90 @@
+module Rng = Mdh_support.Rng
+
+type result = {
+  best : Param.config;
+  best_cost : float;
+  evaluations : int;
+  trace : (int * float) list;
+}
+
+type state = {
+  mutable s_best : Param.config option;
+  mutable s_best_cost : float;
+  mutable s_evals : int;
+  mutable s_trace : (int * float) list;
+}
+
+let fresh () = { s_best = None; s_best_cost = infinity; s_evals = 0; s_trace = [] }
+
+let evaluate st cost config =
+  st.s_evals <- st.s_evals + 1;
+  match cost config with
+  | None -> None
+  | Some c ->
+    if c < st.s_best_cost then begin
+      st.s_best <- Some config;
+      st.s_best_cost <- c;
+      st.s_trace <- (st.s_evals, c) :: st.s_trace
+    end;
+    Some c
+
+let finish st =
+  match st.s_best with
+  | None -> None
+  | Some best ->
+    Some
+      { best; best_cost = st.s_best_cost; evaluations = st.s_evals;
+        trace = List.rev st.s_trace }
+
+let exhaustive space ~cost =
+  let st = fresh () in
+  List.iter (fun config -> ignore (evaluate st cost config)) (Space.enumerate space);
+  finish st
+
+let random_search space ~seed ~budget ~cost =
+  let st = fresh () in
+  let rng = Rng.create seed in
+  let attempts = ref 0 in
+  while st.s_evals < budget && !attempts < budget * 10 do
+    incr attempts;
+    match Space.sample space rng with
+    | None -> ()
+    | Some config -> ignore (evaluate st cost config)
+  done;
+  finish st
+
+let simulated_annealing space ~seed ~budget ~cost =
+  let st = fresh () in
+  let rng = Rng.create seed in
+  let rec initial tries =
+    if tries = 0 then None
+    else
+      match Space.sample space rng with
+      | None -> initial (tries - 1)
+      | Some config -> (
+        match evaluate st cost config with
+        | Some c -> Some (config, c)
+        | None -> initial (tries - 1))
+  in
+  (match initial 100 with
+  | None -> ()
+  | Some (start, start_cost) ->
+    let current = ref start and current_cost = ref start_cost in
+    let t0 = Float.max 1e-30 (start_cost *. 0.5) in
+    while st.s_evals < budget do
+      let progress = float_of_int st.s_evals /. float_of_int budget in
+      let temp = t0 *. exp (-5.0 *. progress) in
+      let candidate = Space.neighbour space rng !current in
+      match evaluate st cost candidate with
+      | None -> ()
+      | Some c ->
+        let accept =
+          c < !current_cost
+          || Rng.float rng 1.0 < exp ((!current_cost -. c) /. Float.max 1e-30 temp)
+        in
+        if accept then begin
+          current := candidate;
+          current_cost := c
+        end
+    done);
+  finish st

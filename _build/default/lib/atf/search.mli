@@ -1,0 +1,26 @@
+(** Search strategies over a tuning space. The cost function returns [None]
+    for configurations the cost model rejects (illegal schedules); all
+    strategies skip them. The budget counts cost evaluations — the
+    reproduction's stand-in for the paper's 12-hour wall-clock tuning
+    budget. *)
+
+type result = {
+  best : Param.config;
+  best_cost : float;
+  evaluations : int;
+  trace : (int * float) list;
+      (** (evaluation index, best-so-far) at every improvement *)
+}
+
+val exhaustive : Space.t -> cost:(Param.config -> float option) -> result option
+(** Evaluate every configuration (capped at 100k); [None] when the space has
+    no valid configuration. *)
+
+val random_search :
+  Space.t -> seed:int -> budget:int -> cost:(Param.config -> float option) ->
+  result option
+
+val simulated_annealing :
+  Space.t -> seed:int -> budget:int -> cost:(Param.config -> float option) ->
+  result option
+(** Random restart + neighbourhood walk with exponential cooling. *)

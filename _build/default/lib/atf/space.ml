@@ -1,0 +1,86 @@
+module Rng = Mdh_support.Rng
+
+type t = { params : Param.t list }
+
+let make params =
+  let names = List.map (fun p -> p.Param.p_name) params in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Space.make: duplicate parameter names";
+  { params }
+
+exception Done
+
+let enumerate ?(cap = 100_000) t =
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec go prefix = function
+    | [] ->
+      acc := List.rev prefix :: !acc;
+      incr count;
+      if !count >= cap then raise Done
+    | (p : Param.t) :: rest ->
+      List.iter
+        (fun v -> go ((p.p_name, v) :: prefix) rest)
+        (p.domain (List.rev prefix))
+  in
+  (try go [] t.params with Done -> ());
+  List.rev !acc
+
+let size ?cap t = List.length (enumerate ?cap t)
+
+let sample t rng =
+  let rec go prefix = function
+    | [] -> Some (List.rev prefix)
+    | (p : Param.t) :: rest -> (
+      match p.domain (List.rev prefix) with
+      | [] -> None
+      | domain -> go ((p.p_name, Rng.choice rng (Array.of_list domain)) :: prefix) rest)
+  in
+  go [] t.params
+
+let neighbour t rng config =
+  if config = [] then config
+  else begin
+    let idx = Rng.int rng (List.length t.params) in
+    (* keep the prefix before [idx], move parameter [idx] to an adjacent
+       domain value, re-sample the suffix *)
+    let rec rebuild i prefix params =
+      match params with
+      | [] -> Some (List.rev prefix)
+      | (p : Param.t) :: rest ->
+        let here = List.rev prefix in
+        let domain = p.domain here in
+        if domain = [] then None
+        else begin
+          let chosen =
+            if i < idx then
+              (* keep the original value when still valid, else nearest *)
+              let orig = try Param.value config p.p_name with Not_found -> List.hd domain in
+              if List.mem orig domain then orig
+              else
+                List.fold_left
+                  (fun best v -> if abs (v - orig) < abs (best - orig) then v else best)
+                  (List.hd domain) domain
+            else if i = idx then begin
+              let orig = try Param.value config p.p_name with Not_found -> List.hd domain in
+              let pos =
+                match List.find_index (( = ) orig) domain with
+                | Some pos -> pos
+                | None -> 0
+              in
+              let n = List.length domain in
+              if n = 1 then List.nth domain 0
+              else begin
+                let dir = if Rng.bool rng then 1 else -1 in
+                let pos' = max 0 (min (n - 1) (pos + dir)) in
+                let pos' = if pos' = pos then (pos + 1) mod n else pos' in
+                List.nth domain pos'
+              end
+            end
+            else Rng.choice rng (Array.of_list domain)
+          in
+          rebuild (i + 1) ((p.p_name, chosen) :: prefix) rest
+        end
+    in
+    match rebuild 0 [] t.params with Some c -> c | None -> config
+  end

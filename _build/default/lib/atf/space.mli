@@ -1,0 +1,23 @@
+(** Search spaces: ordered parameter lists with dependency-respecting
+    enumeration, sampling and neighbourhood moves. *)
+
+type t = { params : Param.t list }
+
+val make : Param.t list -> t
+(** Raises [Invalid_argument] on duplicate parameter names. *)
+
+val enumerate : ?cap:int -> t -> Param.config list
+(** All valid configurations in lexicographic order, depth-first; stops
+    after [cap] (default 100_000) configurations. *)
+
+val size : ?cap:int -> t -> int
+(** Number of valid configurations (capped like {!enumerate}). *)
+
+val sample : t -> Mdh_support.Rng.t -> Param.config option
+(** One random valid configuration: parameters chosen in order, uniformly
+    from each conditional domain; [None] when a dead end is reached. *)
+
+val neighbour : t -> Mdh_support.Rng.t -> Param.config -> Param.config
+(** Mutate one randomly-chosen parameter to an adjacent value in its
+    conditional domain, re-sampling the dependent suffix so the result is
+    valid; returns the input configuration when no move exists. *)

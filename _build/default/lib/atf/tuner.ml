@@ -1,0 +1,92 @@
+module Md_hom = Mdh_core.Md_hom
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Lower = Mdh_lowering.Lower
+module Cost = Mdh_lowering.Cost
+
+type strategy = Exhaustive | Random | Anneal | Auto
+
+type tuning = {
+  schedule : Schedule.t;
+  estimated_s : float;
+  search : Search.result;
+}
+
+let tile_param_name d = Printf.sprintf "tile_%d" d
+
+let space ?parallel_options (md : Md_hom.t) (dev : Device.t) =
+  let rank = Md_hom.rank md in
+  let bytes_per_point = max 4 (Md_hom.bytes_read_per_point md) in
+  (* interdependence: the points covered by a tile must fit a generous
+     multiple of the mid-level cache, pruning hopeless tile combinations *)
+  let budget_points =
+    let mid =
+      if Array.length dev.Device.mem > 1 then dev.Device.mem.(1) else Device.top_level dev
+    in
+    max 4 (8 * mid.Device.capacity_bytes / bytes_per_point)
+  in
+  let tile_params =
+    List.init rank (fun d ->
+        Param.dependent (tile_param_name d) (fun config ->
+            let used =
+              List.fold_left
+                (fun acc (name, v) ->
+                  if String.length name >= 5 && String.sub name 0 5 = "tile_" then acc * v
+                  else acc)
+                1 config
+            in
+            List.filter
+              (fun t -> t = 1 || t * used <= budget_points)
+              (Lower.tile_options md ~dim:d)))
+  in
+  let par_options =
+    Array.of_list
+      (match parallel_options with
+      | Some options -> options
+      | None -> Lower.parallel_dim_options md)
+  in
+  let par_param = Param.independent "par" (List.init (Array.length par_options) Fun.id) in
+  let decode config =
+    let tiles = Array.init rank (fun d -> Param.value config (tile_param_name d)) in
+    let par = par_options.(Param.value config "par") in
+    { Schedule.tile_sizes = tiles; parallel_dims = par;
+      used_layers = List.init (Array.length dev.Device.layers) Fun.id }
+  in
+  (Space.make (tile_params @ [ par_param ]), decode)
+
+let tune ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?include_transfers
+    ?parallel_options md dev cg =
+  let sp, decode = space ?parallel_options md dev in
+  let cost config =
+    match Cost.seconds ?include_transfers md dev cg (decode config) with
+    | Ok s -> Some s
+    | Error _ -> None
+  in
+  let search_result =
+    match strategy with
+    | Exhaustive -> Search.exhaustive sp ~cost
+    | Random -> Search.random_search sp ~seed ~budget ~cost
+    | Anneal -> Search.simulated_annealing sp ~seed ~budget ~cost
+    | Auto ->
+      if Space.size ~cap:(budget + 1) sp <= budget then Search.exhaustive sp ~cost
+      else Search.simulated_annealing sp ~seed ~budget ~cost
+  in
+  match search_result with
+  | None -> Error "tuning found no legal schedule"
+  | Some search ->
+    (* floor the stochastic search at the heuristic starting point: the
+       default tiles with the first (largest) allowed parallel set *)
+    let searched = decode search.Search.best in
+    let floor_schedule =
+      { (Lower.mdh_default md dev) with
+        Schedule.parallel_dims =
+          (match parallel_options with
+          | Some (first :: _) -> first
+          | Some [] | None -> Lower.parallelisable_dims md) }
+    in
+    let schedule, estimated_s =
+      match Cost.seconds ?include_transfers md dev cg floor_schedule with
+      | Ok floor_s when floor_s < search.Search.best_cost -> (floor_schedule, floor_s)
+      | _ -> (searched, search.Search.best_cost)
+    in
+    Ok { schedule; estimated_s; search }

@@ -1,0 +1,42 @@
+(** Auto-tuning of MDH schedules: builds the ATF parameter space for a
+    computation on a device (per-dimension tile sizes with a cache-budget
+    interdependence, and the parallel-dimension subset) and searches it
+    against the analytic cost model.
+
+    This is the reproduction of the paper's "fully automatic auto-tuning for
+    both GPU and CPU code using ATF" (Section 5): the 12-hour wall-clock
+    budget becomes an evaluation budget against the cost model. *)
+
+type strategy = Exhaustive | Random | Anneal | Auto
+(** [Auto] (the default) enumerates exhaustively when the space is within
+    the budget and anneals otherwise. *)
+
+type tuning = {
+  schedule : Mdh_lowering.Schedule.t;
+  estimated_s : float;
+  search : Search.result;
+}
+
+val space :
+  ?parallel_options:int list list ->
+  Mdh_core.Md_hom.t ->
+  Mdh_machine.Device.t ->
+  Space.t * (Param.config -> Mdh_lowering.Schedule.t)
+(** The tuning space and the decoder from configurations to schedules.
+    [parallel_options] restricts the parallel-dimension subsets that may be
+    chosen (default: every parallelisable subset) — used to tune systems
+    whose compilers cannot parallelise reductions. *)
+
+val tune :
+  ?strategy:strategy ->
+  ?budget:int ->
+  ?seed:int ->
+  ?include_transfers:bool ->
+  ?parallel_options:int list list ->
+  Mdh_core.Md_hom.t ->
+  Mdh_machine.Device.t ->
+  Mdh_lowering.Cost.codegen ->
+  (tuning, string) Stdlib.result
+(** Default budget 400 evaluations, seed 1. [Error] when no legal schedule
+    exists (cannot happen for well-formed computations: the sequential
+    schedule is always legal). *)

@@ -1,0 +1,1 @@
+lib/baselines/common.ml: Array Format List Mdh_combine Mdh_core Mdh_expr Mdh_lowering Mdh_machine Printf

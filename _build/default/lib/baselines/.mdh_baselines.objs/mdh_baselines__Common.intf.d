@@ -1,0 +1,1 @@
+lib/baselines/common.mli: Format Mdh_core Mdh_lowering Mdh_machine

@@ -1,0 +1,1 @@
+lib/baselines/mdh_system.ml: Common Fun List Mdh_atf Mdh_lowering Mdh_machine Polyhedral Result

@@ -1,0 +1,1 @@
+lib/baselines/mdh_system.mli: Common

@@ -1,0 +1,1 @@
+lib/baselines/numba.ml: Array Common List Mdh_core Mdh_lowering Mdh_machine

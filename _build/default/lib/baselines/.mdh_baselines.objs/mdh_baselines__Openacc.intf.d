@@ -1,0 +1,1 @@
+lib/baselines/openacc.mli: Common Mdh_core Mdh_machine

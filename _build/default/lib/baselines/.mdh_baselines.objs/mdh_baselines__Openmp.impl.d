@@ -1,0 +1,1 @@
+lib/baselines/openmp.ml: Array Common Fun List Mdh_core Mdh_lowering Mdh_machine

@@ -1,0 +1,1 @@
+lib/baselines/polyhedral.ml: Array Common Fun List Mdh_atf Mdh_core Mdh_lowering Mdh_machine

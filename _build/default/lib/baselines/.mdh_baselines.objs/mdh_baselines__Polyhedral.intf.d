@@ -1,0 +1,1 @@
+lib/baselines/polyhedral.mli: Common Mdh_core Mdh_lowering Mdh_machine

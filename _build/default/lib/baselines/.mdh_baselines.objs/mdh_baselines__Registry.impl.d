@@ -1,0 +1,1 @@
+lib/baselines/registry.ml: Mdh_machine Mdh_system Numba Openacc Openmp Polyhedral Tvm Vendor

@@ -1,0 +1,1 @@
+lib/baselines/registry.mli: Common Mdh_machine

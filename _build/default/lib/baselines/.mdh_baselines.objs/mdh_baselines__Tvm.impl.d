@@ -1,0 +1,1 @@
+lib/baselines/tvm.ml: Common List Mdh_atf Mdh_core Mdh_lowering Mdh_machine

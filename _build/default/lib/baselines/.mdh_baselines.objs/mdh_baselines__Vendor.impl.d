@@ -1,0 +1,1 @@
+lib/baselines/vendor.ml: Array Common Float Fun List Mdh_atf Mdh_combine Mdh_core Mdh_lowering Mdh_machine Mdh_support Mdh_tensor Printf String

@@ -1,0 +1,1 @@
+lib/baselines/vendor.mli: Common Mdh_core

@@ -1,0 +1,98 @@
+module Md_hom = Mdh_core.Md_hom
+module Combine = Mdh_combine.Combine
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+module Roofline = Mdh_machine.Roofline
+
+type failure =
+  | Unsupported_reduction of string
+  | Polyhedral_extraction_error of string
+  | No_parallel_dim of string
+  | Out_of_resources of string
+  | Wrong_device of string
+  | Not_supported of string
+
+let pp_failure ppf = function
+  | Unsupported_reduction m -> Format.fprintf ppf "unsupported reduction: %s" m
+  | Polyhedral_extraction_error m ->
+    Format.fprintf ppf "error extracting polyhedra from source: %s" m
+  | No_parallel_dim m -> Format.fprintf ppf "no parallelisable dimension: %s" m
+  | Out_of_resources m -> Format.fprintf ppf "out of resources: %s" m
+  | Wrong_device m -> Format.fprintf ppf "wrong device: %s" m
+  | Not_supported m -> Format.fprintf ppf "not supported: %s" m
+
+let failure_to_string f = Format.asprintf "%a" pp_failure f
+
+type outcome = {
+  system : string;
+  schedule : Schedule.t;
+  codegen : Cost.codegen;
+  analysis : Cost.analysis;
+  tuned : bool;
+}
+
+let seconds o = o.analysis.Cost.breakdown.Roofline.total_s
+
+type system = {
+  sys_name : string;
+  targets : Device.kind list;
+  compile :
+    tuned:bool -> Md_hom.t -> Device.t -> (outcome, failure) result;
+}
+
+let check_device name ~system_targets (dev : Device.t) =
+  if List.mem dev.Device.kind system_targets then Ok ()
+  else
+    Error
+      (Wrong_device
+         (Printf.sprintf "%s does not target %s" name
+            (match dev.Device.kind with Device.Gpu -> "GPUs" | Device.Cpu -> "CPUs")))
+
+let outcome_of_schedule ~system ~tuned md dev codegen schedule =
+  match Cost.analyse md dev codegen schedule with
+  | Ok analysis -> Ok { system; schedule; codegen; analysis; tuned }
+  | Error msg ->
+    invalid_arg (Printf.sprintf "%s produced an illegal schedule: %s" system msg)
+
+let cc_dims = Md_hom.cc_dims
+
+let builtin_reduction_dims (md : Md_hom.t) =
+  List.filter
+    (fun d ->
+      match Combine.custom_fn_of md.combine_ops.(d) with
+      | Some f -> f.Combine.builtin
+      | None -> false)
+    (Md_hom.reduction_dims md)
+
+let has_custom_reduction (md : Md_hom.t) =
+  List.exists
+    (fun d ->
+      match Combine.custom_fn_of md.combine_ops.(d) with
+      | Some f -> not f.Combine.builtin
+      | None -> false)
+    (Md_hom.reduction_dims md)
+
+let has_prefix_sum (md : Md_hom.t) =
+  Array.exists (function Combine.Ps _ -> true | Cc | Pw _ -> false) md.combine_ops
+
+(* The dimensions an OpenMP/OpenACC-style directive parallelises
+   (Listings 2 and 3): the outermost loop (parallel for / gang), the
+   built-in-operator reduction loops (reduction clauses), and — when no
+   reduction is annotated — the auto-vectorised innermost cc loop. *)
+let directive_parallel_dims (md : Md_hom.t) =
+  let cc = cc_dims md in
+  let outer = match cc with outer :: _ -> [ outer ] | [] -> [] in
+  let reds = builtin_reduction_dims md in
+  let vector =
+    if reds = [] then
+      match List.rev cc with inner :: _ -> [ inner ] | [] -> []
+    else []
+  in
+  List.sort_uniq compare (outer @ reds @ vector)
+
+let data_dependent_branch (md : Md_hom.t) =
+  List.exists
+    (fun (o : Md_hom.output) ->
+      Mdh_expr.Analysis.contains_data_dependent_branch o.value)
+    md.outputs

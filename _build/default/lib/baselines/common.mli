@@ -1,0 +1,69 @@
+(** Shared vocabulary of the baseline system models.
+
+    Each system in the paper's evaluation — OpenMP, OpenACC, PPCG, Pluto,
+    Numba, TVM, the vendor libraries, and MDH itself — is modelled as a
+    *schedule generator restricted to that system's documented capabilities*
+    plus a code-generation quality profile. All systems are costed on the
+    same machine model, so Figure 4's relative results derive from
+    capability differences (can it tile? can it parallelise this reduction?
+    which device layers can one parallel loop feed?), not per-system magic
+    numbers. Systems that reject a computation in the paper reject it here,
+    as typed failures. *)
+
+type failure =
+  | Unsupported_reduction of string
+      (** e.g. TVM's "Invalid comm_reducer" on PRL/MBBS (Section 5.2) *)
+  | Polyhedral_extraction_error of string
+      (** Pluto's "Error extracting polyhedra from source" on PRL *)
+  | No_parallel_dim of string
+      (** PPCG on Dot: a reduction-only nest yields no GPU parallelism *)
+  | Out_of_resources of string
+      (** PPCG's crash on deep-learning shapes with untuned tile sizes *)
+  | Wrong_device of string  (** CPU-only system asked to target a GPU etc. *)
+  | Not_supported of string  (** vendor library has no such routine *)
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_string : failure -> string
+
+type outcome = {
+  system : string;
+  schedule : Mdh_lowering.Schedule.t;
+  codegen : Mdh_lowering.Cost.codegen;
+  analysis : Mdh_lowering.Cost.analysis;
+  tuned : bool;
+}
+
+val seconds : outcome -> float
+
+type system = {
+  sys_name : string;
+  targets : Mdh_machine.Device.kind list;
+  compile :
+    tuned:bool ->
+    Mdh_core.Md_hom.t ->
+    Mdh_machine.Device.t ->
+    (outcome, failure) result;
+}
+
+val check_device : string -> system_targets:Mdh_machine.Device.kind list ->
+  Mdh_machine.Device.t -> (unit, failure) result
+
+val outcome_of_schedule :
+  system:string -> tuned:bool -> Mdh_core.Md_hom.t -> Mdh_machine.Device.t ->
+  Mdh_lowering.Cost.codegen -> Mdh_lowering.Schedule.t -> (outcome, failure) result
+(** Cost the schedule; an illegal schedule is a programming error here and
+    raises [Invalid_argument]. *)
+
+val cc_dims : Mdh_core.Md_hom.t -> int list
+val builtin_reduction_dims : Mdh_core.Md_hom.t -> int list
+(** Reduction dimensions whose customising function is an OpenMP/OpenACC
+    built-in operator ([+], [*], [min], [max]). *)
+
+val directive_parallel_dims : Mdh_core.Md_hom.t -> int list
+(** What an OpenMP/OpenACC-style annotation parallelises: the outermost
+    loop, built-in-operator reduction loops, and the auto-vectorised
+    innermost loop when no reduction is annotated. *)
+
+val has_custom_reduction : Mdh_core.Md_hom.t -> bool
+val has_prefix_sum : Mdh_core.Md_hom.t -> bool
+val data_dependent_branch : Mdh_core.Md_hom.t -> bool

@@ -1,0 +1,30 @@
+module Md_hom = Mdh_core.Md_hom
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+
+let compile ~tuned:_ (md : Md_hom.t) dev =
+  match Common.check_device "Numba" ~system_targets:[ Device.Cpu ] dev with
+  | Error _ as e -> e
+  | Ok () ->
+    (* the user puts prange on the most profitable (largest) loop; Numba
+       additionally auto-parallelises the simple 1D builtin reduction *)
+    let parallel_dims =
+      match Common.cc_dims md with
+      | [] ->
+        if Md_hom.rank md = 1 && Common.builtin_reduction_dims md = [ 0 ] then [ 0 ]
+        else []
+      | cc ->
+        [ List.fold_left
+            (fun best d -> if md.Md_hom.sizes.(d) > md.Md_hom.sizes.(best) then d else best)
+            (List.hd cc) cc ]
+    in
+    let schedule =
+      { Schedule.tile_sizes = Array.copy md.sizes;
+        parallel_dims;
+        used_layers = [ 0 ] (* prange feeds cores; no vector layer control *) }
+    in
+    Common.outcome_of_schedule ~system:"Numba" ~tuned:false md dev Cost.jit_codegen
+      schedule
+
+let system = { Common.sys_name = "Numba"; targets = [ Device.Cpu ]; compile }

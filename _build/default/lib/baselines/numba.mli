@@ -1,0 +1,12 @@
+(** Numba capability model (CPU; Listing 4).
+
+    [@jit(parallel=True)] with [prange] parallelises the annotated outer
+    loop across cores. Reductions are auto-parallelised only in the simple
+    cases the documentation describes (footnote 4 / [26]): a
+    one-dimensional nest reducing with a built-in operator. No tiling is
+    applied to the generated CPU code (Section 5.2), and the directive
+    carries no reduction-operator information. The GPU path requires a
+    distinct [cuda.jit] kernel (Listing 5) — a different program, so the
+    system is CPU-only here, as in the paper's Figure 4 grouping. *)
+
+val system : Common.system

@@ -1,0 +1,32 @@
+module Md_hom = Mdh_core.Md_hom
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+
+(* Listing 3: `parallel loop` annotates the outermost loop (gangs);
+   `loop reduction(op:...)` the reduction loop (vector), expressible only
+   for built-in operators; absent an annotated reduction the compiler maps
+   the innermost loop to the vector lanes. *)
+let parallel_dims = Common.directive_parallel_dims
+
+let schedule_with_tiles tiles (md : Md_hom.t) dev =
+  { Schedule.tile_sizes = tiles;
+    parallel_dims = parallel_dims md;
+    used_layers = List.init (Array.length dev.Device.layers) Fun.id }
+
+let compile ~tuned:_ (md : Md_hom.t) dev =
+  match Common.check_device "OpenACC" ~system_targets:[ Device.Gpu ] dev with
+  | Error _ as e -> e
+  | Ok () ->
+    Common.outcome_of_schedule ~system:"OpenACC" ~tuned:false md dev Cost.plain_codegen
+      (schedule_with_tiles (Array.copy md.sizes) md dev)
+
+let compile_with_tiles tiles (md : Md_hom.t) dev =
+  match Common.check_device "OpenACC" ~system_targets:[ Device.Gpu ] dev with
+  | Error _ as e -> e
+  | Ok () ->
+    Common.outcome_of_schedule ~system:"OpenACC+tile" ~tuned:false md dev
+      Cost.plain_codegen
+      (Schedule.clamp md (schedule_with_tiles tiles md dev))
+
+let system = { Common.sys_name = "OpenACC"; targets = [ Device.Gpu ]; compile }

@@ -1,0 +1,18 @@
+(** OpenACC capability model (GPU).
+
+    Mirrors the OpenMP model on the GPU side (Listing 3): [parallel loop]
+    over the outer dimensions feeding gangs and vectors, [loop reduction]
+    for built-in operators only, no automatic tiling. OpenACC does offer a
+    manual [tile] directive (footnote 12); {!compile_with_tiles} models a
+    user who hand-picked tile sizes — the error-prone manual process the
+    Section 5.2 CCSD(T) discussion walks through — and is exercised by the
+    [ablation-openacc-tiling] bench target. *)
+
+val system : Common.system
+
+val compile_with_tiles :
+  int array ->
+  Mdh_core.Md_hom.t ->
+  Mdh_machine.Device.t ->
+  (Common.outcome, Common.failure) result
+(** Manual [tile(...)] clause with the given sizes. *)

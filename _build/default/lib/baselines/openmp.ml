@@ -1,0 +1,29 @@
+module Md_hom = Mdh_core.Md_hom
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+
+let untiled (md : Md_hom.t) = Array.copy md.Md_hom.sizes
+
+(* OpenMP has no auto-tuning integration (Section 5.1), so [tuned] is
+   ignored. *)
+let compile ~tuned:_ (md : Md_hom.t) dev =
+  match Common.check_device "OpenMP" ~system_targets:[ Device.Cpu ] dev with
+  | Error _ as e -> e
+  | Ok () ->
+    (* Listing 2: `parallel for` annotates the outermost loop; `simd
+       reduction(op:...)` the reduction loop, expressible only for built-in
+       operators; when no reduction is annotated the compiler auto-vectorises
+       the innermost loop. Custom reduction operators leave their loop — and
+       the vector units — unused. *)
+    let parallel_dims = Common.directive_parallel_dims md in
+    let schedule =
+      { Schedule.tile_sizes = untiled md;
+        parallel_dims;
+        used_layers = List.init (Array.length dev.Device.layers) Fun.id }
+    in
+    Common.outcome_of_schedule ~system:"OpenMP" ~tuned:false md dev Cost.plain_codegen
+      schedule
+
+let system =
+  { Common.sys_name = "OpenMP"; targets = [ Device.Cpu ]; compile }

@@ -1,0 +1,12 @@
+(** OpenMP capability model (CPU).
+
+    What the OpenMP code of Listing 2 gives the compiler: the outer loops
+    are parallelised across cores ([parallel for]) and vector lanes
+    ([simd]); a reduction loop is parallelised only when its operator can be
+    named in a [reduction(op:var)] clause — the built-in operators. No
+    automatic tiling (Section 5.2: "it provides no built-in tile directive,
+    which makes tiling technically cumbersome to express"). Custom combine
+    functions such as PRL's [prl_max] cannot appear in a reduction clause,
+    so those dimensions execute sequentially. *)
+
+val system : Common.system

@@ -1,0 +1,82 @@
+module Md_hom = Mdh_core.Md_hom
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+module Footprint = Mdh_lowering.Footprint
+module Tuner = Mdh_atf.Tuner
+
+(* default blocking: a 16x16 face on the two outermost dimensions, depth 4
+   beyond — the shape of PPCG's and Pluto's default block/tile choices *)
+let heuristic_tiles (md : Md_hom.t) =
+  Array.mapi (fun d n -> min (if d < 2 then 16 else 4) n) md.sizes
+
+let all_layers (dev : Device.t) = List.init (Array.length dev.Device.layers) Fun.id
+
+let tuned_schedule (md : Md_hom.t) dev =
+  (* tile sizes searched by ATF; parallelism restricted to cc dims *)
+  match
+    Tuner.tune ~parallel_options:[ Common.cc_dims md ] md dev Cost.good_codegen
+  with
+  | Ok t -> t.Tuner.schedule
+  | Error _ ->
+    { Schedule.tile_sizes = heuristic_tiles md;
+      parallel_dims = Common.cc_dims md;
+      used_layers = all_layers dev }
+
+let heuristic_schedule (md : Md_hom.t) dev =
+  { Schedule.tile_sizes = heuristic_tiles md;
+    parallel_dims = Common.cc_dims md;
+    used_layers = all_layers dev }
+
+(* Static shared-memory limit per block on the modelled GPU. *)
+let static_shared_bytes = 48 * 1024
+
+let ppcg_compile ~tuned (md : Md_hom.t) dev =
+  match Common.check_device "PPCG" ~system_targets:[ Device.Gpu ] dev with
+  | Error _ as e -> e
+  | Ok () ->
+    if Common.cc_dims md = [] then
+      Error
+        (Common.No_parallel_dim
+           "the nest is reduction-only; PPCG finds no loop to map to the grid")
+    else if tuned then
+      Common.outcome_of_schedule ~system:"PPCG(ATF)" ~tuned:true md dev
+        Cost.good_codegen (tuned_schedule md dev)
+    else begin
+      (* Section 5.2: PPCG "crashes with an out of resources error on deep
+         learning computations when ATF-tuned tile sizes are not used" —
+         the high-dimensional multi-reduction kernels (the convolutions)
+         exhaust per-block resources under its default mapping. Staged
+         shared memory is additionally bounded by the 48 KB static limit. *)
+      let deep_learning_kernel =
+        Md_hom.rank md >= 5 && List.length (Md_hom.reduction_dims md) >= 2
+      in
+      let tiles = heuristic_tiles md in
+      let shared = Footprint.tile_input_bytes md ~box:tiles in
+      if deep_learning_kernel || shared > static_shared_bytes then
+        Error
+          (Common.Out_of_resources
+             "per-block resources exhausted under the default mapping (use ATF-tuned \
+              tile sizes)")
+      else
+        Common.outcome_of_schedule ~system:"PPCG" ~tuned:false md dev Cost.good_codegen
+          { (heuristic_schedule md dev) with Schedule.tile_sizes = tiles }
+    end
+
+let pluto_compile ~tuned (md : Md_hom.t) dev =
+  match Common.check_device "Pluto" ~system_targets:[ Device.Cpu ] dev with
+  | Error _ as e -> e
+  | Ok () ->
+    if Common.data_dependent_branch md then
+      Error
+        (Common.Polyhedral_extraction_error
+           "data-dependent if statement in the loop body (cf. PRL, Listing 11)")
+    else if tuned then
+      Common.outcome_of_schedule ~system:"Pluto(ATF)" ~tuned:true md dev
+        Cost.good_codegen (tuned_schedule md dev)
+    else
+      Common.outcome_of_schedule ~system:"Pluto" ~tuned:false md dev Cost.good_codegen
+        (heuristic_schedule md dev)
+
+let ppcg = { Common.sys_name = "PPCG"; targets = [ Device.Gpu ]; compile = ppcg_compile }
+let pluto = { Common.sys_name = "Pluto"; targets = [ Device.Cpu ]; compile = pluto_compile }

@@ -1,0 +1,27 @@
+(** Polyhedral compiler models: PPCG (GPU) and Pluto (CPU).
+
+    Polyhedral compilers tile and parallelise loop nests from dependence
+    analysis alone; the [#pragma scop] directive carries no reduction
+    operators (Listing 1), so reduction dimensions are never parallelised —
+    "polyhedral techniques still face challenges" with reductions
+    (Section 5.2, citing Doerfert et al.). Consequences reproduced here:
+
+    - PPCG rejects Dot: with the only dimension a reduction, there is
+      nothing to map to the GPU grid ([No_parallel_dim]).
+    - PPCG's heuristic tile sizes blow the per-SM memory on the
+      high-dimensional deep-learning kernels; only ATF-tuned tile sizes fit
+      ([Out_of_resources], Section 5.2).
+    - Pluto cannot extract polyhedra from PRL's data-dependent [if]
+      statements ([Polyhedral_extraction_error]).
+
+    Both support auto-tuned tile sizes (the paper reports heuristic and
+    ATF-tuned variants); [tuned:true] searches tile sizes with the ATF
+    tuner while keeping reductions sequential. *)
+
+val ppcg : Common.system
+val pluto : Common.system
+
+val tuned_schedule :
+  Mdh_core.Md_hom.t -> Mdh_machine.Device.t -> Mdh_lowering.Schedule.t
+(** The ATF-tuned, reduction-sequential schedule shared by both tuned
+    variants (also consulted by the MDH tuner, whose space subsumes it). *)

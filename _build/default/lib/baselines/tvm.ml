@@ -1,0 +1,29 @@
+module Md_hom = Mdh_core.Md_hom
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+module Tuner = Mdh_atf.Tuner
+
+let compile ~tuned:_ (md : Md_hom.t) dev =
+  if Common.has_custom_reduction md then
+    Error (Common.Unsupported_reduction "Invalid comm_reducer: user-defined reduction")
+  else if Common.has_prefix_sum md then
+    Error
+      (Common.Unsupported_reduction
+         "prefix-sum (scan) reductions are not expressible as a comm_reducer")
+  else begin
+    (* TVM always tunes (its own engine); parallelism over cc dims and
+       rfactor-able builtin reductions *)
+    let options =
+      [ Common.cc_dims md;
+        List.sort compare (Common.cc_dims md @ Common.builtin_reduction_dims md) ]
+    in
+    match Tuner.tune ~parallel_options:options md dev Cost.good_codegen with
+    | Ok t ->
+      Common.outcome_of_schedule ~system:"TVM" ~tuned:true md dev Cost.good_codegen
+        t.Tuner.schedule
+    | Error msg -> Error (Common.Not_supported msg)
+  end
+
+let system =
+  { Common.sys_name = "TVM"; targets = [ Device.Gpu; Device.Cpu ]; compile }

@@ -1,0 +1,11 @@
+(** TVM capability model (GPU and CPU).
+
+    TVM's tensor-expression DSL schedules tiled, parallelised code on both
+    devices and auto-tunes with its own engine (Ansor); it parallelises
+    reductions via [rfactor] — but only for reducers its [comm_reducer]
+    machinery accepts. User-defined reduction operators like PRL's
+    [prl_max] and prefix-sum reductions (MBBS) are rejected
+    ("Invalid comm_reducer", "Expressing nested reduce operations" — the
+    community issues cited in Section 5.2 [2, 3]). *)
+
+val system : Common.system

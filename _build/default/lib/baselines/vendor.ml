@@ -1,0 +1,139 @@
+module Md_hom = Mdh_core.Md_hom
+module Combine = Mdh_combine.Combine
+module Scalar = Mdh_tensor.Scalar
+module Index_fn = Mdh_tensor.Index_fn
+module Device = Mdh_machine.Device
+module Roofline = Mdh_machine.Roofline
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+module Lower = Mdh_lowering.Lower
+
+type routine = Gemm | Gemv | Dot | Conv
+
+let float_typed (md : Md_hom.t) =
+  List.for_all
+    (fun (i : Md_hom.input) ->
+      match i.inp_ty with Scalar.Fp32 | Fp64 -> true | _ -> false)
+    md.inputs
+
+let add_reduction_dims (md : Md_hom.t) =
+  List.filter
+    (fun d ->
+      match md.combine_ops.(d) with
+      | Combine.Pw f -> f.Combine.builtin && String.equal f.Combine.fn_name "add"
+      | Cc | Ps _ -> false)
+    (List.init (Md_hom.rank md) Fun.id)
+
+let strided_window_access (md : Md_hom.t) =
+  (* a coordinate combining two iteration dims (e.g. 2p+r) marks a sliding
+     window: the convolution signature *)
+  List.exists
+    (fun (i : Md_hom.input) ->
+      List.exists
+        (fun (a : Md_hom.access) ->
+          match a.fn with
+          | Index_fn.Affine { coords; _ } ->
+            Array.exists
+              (fun c ->
+                Array.fold_left
+                  (fun n coeff -> if coeff <> 0 then n + 1 else n)
+                  0 c.Index_fn.coeffs
+                >= 2)
+              coords
+          | Index_fn.Opaque _ -> false)
+        i.accesses)
+    md.inputs
+
+let classify (md : Md_hom.t) =
+  if not (float_typed md) then None
+  else begin
+    let reds = add_reduction_dims md in
+    let all_reds = Md_hom.reduction_dims md in
+    if reds <> all_reds || reds = [] then None
+    else
+      match (Md_hom.rank md, List.length reds) with
+      | 1, 1 -> Some Dot
+      | 2, 1 -> Some Gemv
+      | 3, 1 -> Some Gemm
+      | 4, 1 -> Some Gemm (* batched GEMM *)
+      | r, k when r >= 5 && k >= 2 && strided_window_access md -> Some Conv
+      | _ -> None
+  end
+
+(* Vendor kernels view every supported routine as an MxN output block
+   computation (GEMM's M rows x N columns; a convolution's output pixels x
+   output channels) and block both at a fixed internal size. Dimensions far
+   below the block are padded, wasting compute; kernel variety bounds the
+   waste per side. *)
+let padding_factor (md : Md_hom.t) block =
+  let pad extent =
+    Float.min 4.0
+      (float_of_int (block * Mdh_support.Util.ceil_div extent block)
+      /. float_of_int extent)
+  in
+  match List.rev (Common.cc_dims md) with
+  | [] -> 1.0
+  | [ only ] -> pad md.sizes.(only) (* GEMV/DOT: a single output extent *)
+  | n_dim :: m_dims ->
+    let m = List.fold_left (fun acc d -> acc * md.sizes.(d)) 1 m_dims in
+    pad (max 1 m) *. pad md.sizes.(n_dim)
+
+let regular_shape (md : Md_hom.t) =
+  List.for_all (fun d -> md.sizes.(d) >= 32) (Common.cc_dims md)
+
+let compile ~tuned:_ (md : Md_hom.t) (dev : Device.t) =
+  match classify md with
+  | None ->
+    Error
+      (Common.Not_supported
+         (Printf.sprintf "no vendor routine implements %s" md.hom_name))
+  | Some routine ->
+    let block = match dev.Device.kind with Device.Gpu -> 64 | Device.Cpu -> 16 in
+    let pad = padding_factor md block in
+    let base =
+      if regular_shape md then
+        { Cost.cg_name = "vendor"; base_compute_eff = 0.92; base_bw_eff = 0.92 }
+      else
+        { Cost.cg_name = "vendor-offshape"; base_compute_eff = 0.5; base_bw_eff = 0.55 }
+    in
+    let codegen =
+      { base with
+        Cost.base_compute_eff = Float.max 1e-4 (base.Cost.base_compute_eff /. pad) }
+    in
+    (* vendor kernels are hand-scheduled near-optimally for the routines
+       they serve: pick the cost-model-optimal schedule, like MDH does *)
+    let schedule =
+      match Mdh_atf.Tuner.tune ~budget:150 ~seed:7 md dev codegen with
+      | Ok t -> t.Mdh_atf.Tuner.schedule
+      | Error _ ->
+        { (Lower.mdh_default md dev) with
+          Schedule.parallel_dims = Lower.parallelisable_dims md }
+    in
+    (match Common.outcome_of_schedule ~system:"Vendor" ~tuned:false md dev codegen
+             schedule with
+    | Error _ as e -> e
+    | Ok outcome ->
+      (* library dispatch and internal threading setup: a fixed per-call
+         overhead the tuned MDH kernels do not pay *)
+      let dispatch_s =
+        match dev.Device.kind with Device.Gpu -> 8e-6 | Device.Cpu -> 1e-5
+      in
+      let b = outcome.Common.analysis.Cost.breakdown in
+      let breakdown =
+        { b with
+          Roofline.overhead_s = b.Roofline.overhead_s +. dispatch_s;
+          total_s = b.Roofline.total_s +. dispatch_s }
+      in
+      let analysis = { outcome.Common.analysis with Cost.breakdown = breakdown } in
+      Ok
+        { outcome with
+          Common.analysis;
+          system =
+            (match (dev.Device.kind, routine) with
+            | Device.Gpu, Conv -> "cuDNN"
+            | Device.Gpu, _ -> "cuBLAS"
+            | Device.Cpu, Conv -> "oneDNN"
+            | Device.Cpu, _ -> "oneMKL") })
+
+let system =
+  { Common.sys_name = "Vendor"; targets = [ Device.Gpu; Device.Cpu ]; compile }

@@ -1,0 +1,24 @@
+(** Vendor library model: cuBLAS/cuDNN on GPUs, oneMKL/oneDNN on CPUs.
+
+    Vendor libraries ship assembly-tuned kernels for a fixed routine set and
+    do not auto-tune per shape (Section 5). The model:
+
+    - routines outside the library's catalogue are [Not_supported]
+      (cuBLAS/oneMKL: BLAS; cuDNN/oneDNN: convolution) — PRL, MBBS,
+      Gaussian/Jacobi stencils and CCSD(T) have no vendor bar in Figure 4;
+    - supported routines run near roofline when the shape matches the
+      kernels' fixed internal blocking (large, square-ish dims);
+    - shapes far from the tuned regime — the tall/skinny deep-learning GEMMs,
+      batch-1 and capsule convolutions of Figure 3 — pay a fixed-blocking
+      penalty. This is precisely where the paper reports its up-to-5x (CPU)
+      and >2x (GPU) wins over vendor libraries. *)
+
+type routine = Gemm | Gemv | Dot | Conv
+
+val classify : Mdh_core.Md_hom.t -> routine option
+(** Structural detection of library-served patterns: dense contractions with
+    one [pw(add)] reduction map to BLAS routines by rank; sliding-window
+    contractions (strided non-injective accesses with several reduction
+    dims) map to [Conv]. *)
+
+val system : Common.system

@@ -1,0 +1,1 @@
+lib/codegen/c_like.ml: Array Char Float Format Int32 Int64 List Mdh_combine Mdh_core Mdh_expr Mdh_tensor Printf String

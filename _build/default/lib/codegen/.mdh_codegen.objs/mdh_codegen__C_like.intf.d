@@ -1,0 +1,1 @@
+lib/codegen/c_like.mli: Mdh_combine Mdh_core Mdh_expr Mdh_tensor

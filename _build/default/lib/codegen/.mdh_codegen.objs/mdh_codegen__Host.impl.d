@@ -1,0 +1,1 @@
+lib/codegen/host.ml: Buffer C_like Format Kernel List Mdh_core Mdh_tensor Printf Str_replace String

@@ -1,0 +1,1 @@
+lib/codegen/host.mli: Kernel Mdh_core Mdh_lowering Mdh_machine

@@ -1,0 +1,1 @@
+lib/codegen/kernel.ml: Array Buffer C_like Format Fun List Mdh_combine Mdh_core Mdh_lowering Mdh_machine Mdh_support Mdh_tensor Option Printf Result Str_replace String

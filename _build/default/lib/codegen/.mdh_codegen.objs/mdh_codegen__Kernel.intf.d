@@ -1,0 +1,1 @@
+lib/codegen/kernel.mli: Format Mdh_core Mdh_lowering Mdh_machine

@@ -1,0 +1,1 @@
+lib/codegen/openmp_c.ml: Array Buffer C_like Format Kernel List Mdh_combine Mdh_core Printf String

@@ -1,0 +1,1 @@
+lib/codegen/openmp_c.mli: Kernel Mdh_core

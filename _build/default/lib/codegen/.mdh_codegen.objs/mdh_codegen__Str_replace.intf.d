@@ -1,0 +1,1 @@
+lib/codegen/str_replace.mli:

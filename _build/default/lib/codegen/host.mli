@@ -1,0 +1,25 @@
+(** Host-program generation: a complete, compilable driver around a
+    generated kernel — the role of the group's OCAL/dOCAL host-code layer
+    (paper references [33, 36]).
+
+    For the CUDA dialect the bundle is a single [.cu] translation unit:
+    the kernel followed by a [main] that allocates and fills the buffers,
+    moves data to the device, launches with the schedule's configuration,
+    times the kernel with events, reads the result back and prints a
+    checksum. For OpenCL the kernel is a separate [.cl] source (loaded at
+    run time, as is conventional) and the host is a C program with the full
+    platform/context/queue/program boilerplate. *)
+
+type bundle = {
+  kernel_file : string;  (** suggested file name for the kernel source *)
+  kernel_source : string;
+  host_file : string;
+  host_source : string;
+}
+
+val generate :
+  Kernel.dialect ->
+  Mdh_core.Md_hom.t ->
+  Mdh_machine.Device.t ->
+  Mdh_lowering.Schedule.t ->
+  (bundle, Kernel.error) result

@@ -1,0 +1,48 @@
+(** Kernel source generation from a scheduled MDH computation — the
+    reproduction of the MDH pipeline's final stage, which emits "CUDA code
+    for GPUs and OpenCL code for CPUs" (Sections 3 and 5). The generated
+    source cannot be run in this environment (no GPU, no OpenCL runtime);
+    it is the faithful *artifact*: the schedule's decisions appear directly
+    in the code and are covered by structural tests.
+
+    Mapping scheme:
+    - the parallel concatenation subspace is linearised over work-groups x
+      work-items and decomposed back with div/mod index arithmetic;
+    - when the schedule parallelises a [pw] reduction dimension, work-items
+      stride over it and recombine with a barrier-synchronised tree in
+      local/shared memory (the first such dimension; further parallel
+      reduction dimensions run sequentially per item, with a note);
+    - sequential dimensions appear as cache-tiled loop pairs when the
+      schedule's tile is smaller than the extent;
+    - a [ps] dimension is emitted as a sequential running scan
+      (restriction: at most one [ps] dimension and no [pw] dimensions in
+      the same computation — which covers the paper's workloads).
+
+    Built-in customising functions inline; user-defined ones become calls
+    to [mdh_combine_<name>], declared for the host to supply. *)
+
+type dialect
+
+val cuda : dialect
+val opencl : dialect
+
+type error =
+  | Unsupported of string
+  | Illegal_schedule of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val generate :
+  dialect ->
+  Mdh_core.Md_hom.t ->
+  Mdh_machine.Device.t ->
+  Mdh_lowering.Schedule.t ->
+  (string, error) result
+(** Complete translation unit: prelude, struct definitions, the kernel, and
+    a launch-configuration comment. *)
+
+val kernel_name : Mdh_core.Md_hom.t -> string
+(** The emitted kernel's function name. *)
+
+val launch_config : Mdh_core.Md_hom.t -> Mdh_lowering.Schedule.t -> int * int
+(** (work-groups, work-items per group) for the generated kernel. *)

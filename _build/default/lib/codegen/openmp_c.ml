@@ -1,0 +1,133 @@
+module Md_hom = Mdh_core.Md_hom
+module Combine = Mdh_combine.Combine
+
+let reduction_clause_op (fn : Combine.custom_fn) =
+  if fn.Combine.builtin then
+    match fn.Combine.fn_name with
+    | "add" -> Some "+"
+    | "mul" -> Some "*"
+    | "min" -> Some "min"
+    | "max" -> Some "max"
+    | _ -> None
+  else None
+
+let generate (md : Md_hom.t) =
+  match md.outputs with
+  | [] | _ :: _ :: _ ->
+    Error (Kernel.Unsupported "the Listing 2 shape has exactly one output buffer")
+  | [ output ] ->
+    let reductions = Md_hom.reduction_dims md in
+    if List.length reductions > 1 then
+      Error (Kernel.Unsupported "the Listing 2 shape has at most one reduction loop")
+    else begin
+      let ctx = C_like.prepare md in
+      let b = Buffer.create 2048 in
+      let line fmt =
+        Format.kasprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt
+      in
+      line "/* OpenMP-annotated C equivalent of the %s directive (the paper's" md.hom_name;
+      line "   Listing 2 shape), generated for comparison. */";
+      let struct_defs = C_like.struct_defs ctx in
+      if struct_defs <> "" then line "%s" struct_defs;
+      let params =
+        C_like.buffer_param ctx ~const:false output.Md_hom.out_name output.Md_hom.out_ty
+        :: List.map
+             (fun (i : Md_hom.input) -> C_like.buffer_param ctx i.inp_name i.inp_ty)
+             md.inputs
+      in
+      line "void %s_openmp(%s)" (Kernel.kernel_name md) (String.concat ", " params);
+      line "{";
+      let fresh_counter = ref 0 in
+      let fresh () = incr fresh_counter; Printf.sprintf "t%d" !fresh_counter in
+      let depth = ref 1 in
+      let emit fmt =
+        Format.kasprintf
+          (fun s ->
+            Buffer.add_string b (String.make (2 * !depth) ' ');
+            Buffer.add_string b s;
+            Buffer.add_char b '\n')
+          fmt
+      in
+      let red = match reductions with [ d ] -> Some d | _ -> None in
+      let acc_ty = C_like.c_type ctx output.Md_hom.out_ty in
+      let value =
+        C_like.emit_expr ctx ~fresh ~index_of:(fun v -> v) output.Md_hom.value
+      in
+      let out_idx =
+        List.map
+          (fun e -> (C_like.emit_expr ctx ~fresh ~index_of:(fun v -> v) e).C_like.expr)
+          output.Md_hom.out_access.exprs
+      in
+      let write expr =
+        emit "%s = %s;"
+          (C_like.linearize output.Md_hom.out_name output.Md_hom.out_shape out_idx)
+          expr
+      in
+      let open_loop d =
+        emit "for (int %s = 0; %s < %d; %s++) {" md.dims.(d) md.dims.(d) md.sizes.(d)
+          md.dims.(d);
+        incr depth
+      in
+      let close () = decr depth; emit "}" in
+      (* outer cc loops, the first annotated *)
+      let cc = Md_hom.cc_dims md in
+      List.iteri
+        (fun i d ->
+          if i = 0 then emit "#pragma omp parallel for";
+          open_loop d)
+        cc;
+      (match red with
+      | None ->
+        List.iter (fun d -> emit "%s" d) value.C_like.decls;
+        write value.C_like.expr
+      | Some d ->
+        let fn =
+          match Combine.custom_fn_of md.combine_ops.(d) with
+          | Some fn -> fn
+          | None -> assert false
+        in
+        (match md.combine_ops.(d) with
+        | Combine.Ps _ ->
+          emit "/* NOT EXPRESSIBLE: ps(%s) is a prefix-sum reduction; OpenMP's"
+            fn.Combine.fn_name;
+          emit "   reduction clause has no scan form for this shape - the loop runs";
+          emit "   sequentially (cf. Section 2 of the paper). */";
+          emit "%s acc;" acc_ty;
+          open_loop d;
+          List.iter (fun s -> emit "%s" s) value.C_like.decls;
+          emit "acc = (%s == 0) ? %s : %s; /* scan */" md.dims.(d)
+            value.C_like.expr
+            (C_like.combine_exprs fn "acc" value.C_like.expr);
+          write "acc";
+          close ()
+        | Combine.Pw _ -> (
+          match reduction_clause_op fn with
+          | Some op ->
+            (* Listing 2: the sum temporary the MDH directive avoids *)
+            emit "%s sum = 0;" acc_ty;
+            emit "#pragma omp simd reduction(%s:sum)" op;
+            open_loop d;
+            List.iter (fun s -> emit "%s" s) value.C_like.decls;
+            (if op = "+" || op = "*" then
+               emit "sum %s= %s;" op value.C_like.expr
+             else emit "sum = %s;" (C_like.combine_exprs fn "sum" value.C_like.expr));
+            close ();
+            write "sum"
+          | None ->
+            emit "/* NOT EXPRESSIBLE: pw(%s) is a user-defined reduction operator;"
+              fn.Combine.fn_name;
+            emit "   it cannot appear in an OpenMP reduction clause, so the loop runs";
+            emit "   sequentially and unvectorised (cf. PRL, Section 5.2). */";
+            emit "%s best;" acc_ty;
+            emit "int has = 0;";
+            open_loop d;
+            List.iter (fun s -> emit "%s" s) value.C_like.decls;
+            emit "best = has ? %s_combine_%s(best, %s) : %s; has = 1;" "mdh"
+              fn.Combine.fn_name value.C_like.expr value.C_like.expr;
+            close ();
+            write "best")
+        | Combine.Cc -> assert false));
+      List.iter (fun _ -> close ()) cc;
+      line "}";
+      Ok (Buffer.contents b)
+    end

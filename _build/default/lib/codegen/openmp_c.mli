@@ -1,0 +1,19 @@
+(** Emission of the OpenMP-annotated sequential C equivalent of a directive
+    (the shape of the paper's Listing 2) — the reverse of this repository's
+    pipeline, used to show concretely what is and is not expressible in the
+    established standards:
+
+    - the outermost concatenation loop gets [#pragma omp parallel for];
+    - a reduction dimension with a *built-in* operator gets a scalar
+      accumulator and [#pragma omp simd reduction(op:acc)] — including the
+      [sum] temporary and the re-write of [=] into [+=]-style accumulation
+      that the MDH directive lets users avoid;
+    - a reduction with a user-defined customising function (PRL's
+      [prl_best]) or a prefix-sum dimension **cannot be annotated**: the
+      loop is emitted sequential with a comment naming the inexpressible
+      operator — the Section 2/5.2 gap, in code.
+
+    Restrictions: single output buffer, at most one reduction dimension
+    (the Listing 2 shape); richer computations return [Unsupported]. *)
+
+val generate : Mdh_core.Md_hom.t -> (string, Kernel.error) result

@@ -1,0 +1,27 @@
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let replace_word text word replacement =
+  let n = String.length text and wn = String.length word in
+  if wn = 0 then text
+  else begin
+    let buf = Buffer.create n in
+    let i = ref 0 in
+    while !i < n do
+      let boundary_before = !i = 0 || not (is_ident_char text.[!i - 1]) in
+      if
+        boundary_before
+        && !i + wn <= n
+        && String.sub text !i wn = word
+        && (!i + wn = n || not (is_ident_char text.[!i + wn]))
+      then begin
+        Buffer.add_string buf replacement;
+        i := !i + wn
+      end
+      else begin
+        Buffer.add_char buf text.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,6 @@
+(** Word-boundary token replacement in generated C text (used to rewrite
+    collapsed iteration variables to [0] in output index expressions). *)
+
+val replace_word : string -> string -> string -> string
+(** [replace_word text word replacement] replaces every occurrence of
+    [word] in [text] that is not part of a larger identifier. *)

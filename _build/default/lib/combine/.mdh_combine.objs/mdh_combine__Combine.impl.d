@@ -1,0 +1,1 @@
+lib/combine/combine.ml: Array Format Mdh_tensor Printf

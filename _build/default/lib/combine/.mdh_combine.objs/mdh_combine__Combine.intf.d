@@ -1,0 +1,1 @@
+lib/combine/combine.mli: Format Mdh_tensor

@@ -1,0 +1,1 @@
+lib/core/md_hom.ml: Array Format List Mdh_combine Mdh_expr Mdh_tensor String

@@ -1,0 +1,1 @@
+lib/core/md_hom.mli: Format Mdh_combine Mdh_expr Mdh_tensor

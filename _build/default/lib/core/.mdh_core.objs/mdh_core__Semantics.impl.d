@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Array Bytes Format Fun List Md_hom Mdh_combine Mdh_expr Mdh_tensor Option String

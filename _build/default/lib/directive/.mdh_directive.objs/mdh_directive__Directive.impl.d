@@ -1,0 +1,1 @@
+lib/directive/directive.ml: Format List Mdh_combine Mdh_expr Mdh_tensor String

@@ -1,0 +1,1 @@
+lib/directive/directive.mli: Format Mdh_combine Mdh_expr Mdh_tensor

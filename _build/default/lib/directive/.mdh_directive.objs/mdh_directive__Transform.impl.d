@@ -1,0 +1,1 @@
+lib/directive/transform.ml: Directive List Mdh_core Result Validate

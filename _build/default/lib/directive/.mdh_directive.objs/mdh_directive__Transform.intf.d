@@ -1,0 +1,1 @@
+lib/directive/transform.mli: Directive Mdh_core Validate

@@ -1,0 +1,1 @@
+lib/directive/validate.ml: Array Directive Format List Mdh_combine Mdh_expr Mdh_support Mdh_tensor Printf Result String

@@ -1,0 +1,1 @@
+lib/directive/validate.mli: Directive Format Mdh_combine Mdh_expr Mdh_tensor

@@ -1,0 +1,85 @@
+module Scalar = Mdh_tensor.Scalar
+module Shape = Mdh_tensor.Shape
+module Expr = Mdh_expr.Expr
+module Combine = Mdh_combine.Combine
+
+type buffer_decl = {
+  buf_name : string;
+  buf_ty : Scalar.ty;
+  buf_shape : Shape.t option;
+}
+
+type stmt =
+  | Let_stmt of string * Expr.t
+  | Assign of { target : string; indices : Expr.t list; value : Expr.t }
+
+type nest =
+  | For of { var : string; extent : int; body : nest }
+  | Body of stmt list
+  | Seq of nest list
+
+type t = {
+  dir_name : string;
+  outs : buffer_decl list;
+  inps : buffer_decl list;
+  combine_ops : Combine.t list;
+  nest : nest;
+}
+
+let buffer ?shape name ty = { buf_name = name; buf_ty = ty; buf_shape = shape }
+let for_ var extent body = For { var; extent; body }
+let body stmts = Body stmts
+let assign target indices value = Assign { target; indices; value }
+let let_stmt name e = Let_stmt (name, e)
+
+let make ~name ~out ~inp ~combine_ops nest =
+  { dir_name = name; outs = out; inps = inp; combine_ops; nest }
+
+let loops t =
+  let rec go acc = function
+    | For { var; extent; body } -> go ((var, extent) :: acc) body
+    | Body _ | Seq _ -> List.rev acc
+  in
+  go [] t.nest
+
+let stmts t =
+  let rec go = function
+    | For { body; _ } -> go body
+    | Body stmts -> stmts
+    | Seq _ -> []
+  in
+  go t.nest
+
+let pp_stmt ppf = function
+  | Let_stmt (name, e) -> Format.fprintf ppf "let %s = %a" name Expr.pp e
+  | Assign { target; indices; value } ->
+    Format.fprintf ppf "%s[%a] = %a" target
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") Expr.pp)
+      indices Expr.pp value
+
+let rec pp_nest indent ppf = function
+  | For { var; extent; body } ->
+    Format.fprintf ppf "%sfor %s in range(%d):@," indent var extent;
+    pp_nest (indent ^ "  ") ppf body
+  | Body stmts ->
+    List.iter (fun s -> Format.fprintf ppf "%s%a@," indent pp_stmt s) stmts
+  | Seq nests -> List.iter (pp_nest indent ppf) nests
+
+let pp_buffer_decl ppf { buf_name; buf_ty; buf_shape } =
+  match buf_shape with
+  | None -> Format.fprintf ppf "%s = Buffer[%a]" buf_name Scalar.pp_ty buf_ty
+  | Some shape ->
+    Format.fprintf ppf "%s = Buffer[%a,[%s]]" buf_name Scalar.pp_ty buf_ty
+      (Shape.to_string shape)
+
+let pp ppf t =
+  let pp_decls = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      pp_buffer_decl
+  in
+  Format.fprintf ppf "@[<v>@@mdh( out( %a ),@," pp_decls t.outs;
+  Format.fprintf ppf "      inp( %a ),@," pp_decls t.inps;
+  Format.fprintf ppf "      combine_ops( %s ) )@,"
+    (String.concat ", " (List.map Combine.name t.combine_ops));
+  Format.fprintf ppf "def %s:@," t.dir_name;
+  pp_nest "  " ppf t.nest;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,75 @@
+(** The MDH directive (Section 4, Listing 14).
+
+    In the paper the directive is a Python decorator over a perfect loop
+    nest. In this OCaml reproduction it is an embedded AST with the same
+    structure and the same static rules:
+
+    - [out(...)] / [inp(...)] clauses declare named buffers with basic types
+      and optional explicit sizes (required when a buffer is larger than its
+      accessed region, Listing 12; otherwise sizes are inferred from the
+      iteration space and index functions, footnote 7);
+    - [combine_ops(...)] associates one combine operator with every loop
+      dimension — the semantic information existing directive approaches
+      cannot express for user-defined reductions;
+    - the body computes a single point of the iteration space *without*
+      performing reductions: plain [=] assignment (never [+=]) of a pure
+      scalar function of input elements.
+
+    Validation and the transformation into the MDH DSL representation live
+    in {!Validate} and {!Transform}. *)
+
+module Scalar = Mdh_tensor.Scalar
+module Shape = Mdh_tensor.Shape
+
+type buffer_decl = {
+  buf_name : string;
+  buf_ty : Scalar.ty;
+  buf_shape : Shape.t option;  (** explicit size, when declared *)
+}
+
+type stmt =
+  | Let_stmt of string * Mdh_expr.Expr.t
+      (** local binding usable by later statements *)
+  | Assign of { target : string; indices : Mdh_expr.Expr.t list; value : Mdh_expr.Expr.t }
+      (** single-point write: [target[indices] = value] *)
+
+(** Loop-nest surface syntax. [Seq] exists so that *imperfect* nests are
+    representable — and rejected by validation, mirroring the paper's
+    restriction to perfect nests. *)
+type nest =
+  | For of { var : string; extent : int; body : nest }
+  | Body of stmt list
+  | Seq of nest list
+
+type t = {
+  dir_name : string;
+  outs : buffer_decl list;
+  inps : buffer_decl list;
+  combine_ops : Mdh_combine.Combine.t list;
+  nest : nest;
+}
+
+(* Builders *)
+
+val buffer : ?shape:Shape.t -> string -> Scalar.ty -> buffer_decl
+val for_ : string -> int -> nest -> nest
+val body : stmt list -> nest
+val assign : string -> Mdh_expr.Expr.t list -> Mdh_expr.Expr.t -> stmt
+val let_stmt : string -> Mdh_expr.Expr.t -> stmt
+
+val make :
+  name:string ->
+  out:buffer_decl list ->
+  inp:buffer_decl list ->
+  combine_ops:Mdh_combine.Combine.t list ->
+  nest ->
+  t
+
+val loops : t -> (string * int) list
+(** Loop variables and extents, outermost first, for a perfect nest; loops
+    under the first [Seq]/[Body] are not included. *)
+
+val stmts : t -> stmt list
+(** Statements of the innermost body ([] when the nest is imperfect). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+(** Transformation of a validated MDH directive into the MDH DSL's high-level
+    program representation (Section 4.3, Figures 1 and 2).
+
+    The data-centric part (Figure 1) instantiates [out_view]/[inp_view] from
+    the directive's buffer accesses; the computation-centric part (Figure 2)
+    instantiates [md_hom] from the loop nest's extents, the assigned scalar
+    function and the [combine_ops] clause. The result feeds the existing
+    MDH pipeline (lowering, auto-tuning, execution). *)
+
+val to_md_hom : Directive.t -> (Mdh_core.Md_hom.t, Validate.error) result
+(** Validates and transforms; errors are validation errors. *)
+
+val to_md_hom_exn : Directive.t -> Mdh_core.Md_hom.t
+(** Raises [Invalid_argument] with the rendered validation error. *)

@@ -1,0 +1,379 @@
+module Scalar = Mdh_tensor.Scalar
+module Shape = Mdh_tensor.Shape
+module Index_fn = Mdh_tensor.Index_fn
+module Expr = Mdh_expr.Expr
+module Typecheck = Mdh_expr.Typecheck
+module Analysis = Mdh_expr.Analysis
+module Combine = Mdh_combine.Combine
+
+type error_kind =
+  | Imperfect_nest
+  | Duplicate_loop_var of string
+  | Nonpositive_extent of string
+  | Combine_op_arity of { dims : int; ops : int }
+  | Mixed_reduction_kinds
+  | Duplicate_buffer of string
+  | Unknown_buffer of string
+  | Assign_to_input of string
+  | Read_of_output of string
+  | Multiple_assignment of string
+  | Missing_assignment of string
+  | Type_error of string
+  | Shape_error of string
+  | Opaque_access_needs_shape of string
+  | Invalid_out_view of string
+
+type error = { kind : error_kind; message : string }
+
+let pp_error ppf { message; _ } = Format.fprintf ppf "directive error: %s" message
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let fail kind fmt = Format.kasprintf (fun message -> Error { kind; message }) fmt
+
+type eout = {
+  eo_name : string;
+  eo_ty : Scalar.ty;
+  eo_shape : Shape.t;
+  eo_indices : Expr.t list;
+  eo_fn : Index_fn.t;
+  eo_value : Expr.t;
+}
+
+type einp = {
+  ei_name : string;
+  ei_ty : Scalar.ty;
+  ei_shape : Shape.t;
+  ei_accesses : (Expr.t list * Index_fn.t) list;
+}
+
+type elab = {
+  el_dims : string array;
+  el_sizes : Shape.t;
+  el_combine_ops : Combine.t array;
+  el_outs : eout list;
+  el_inps : einp list;
+}
+
+let ( let* ) = Result.bind
+
+(* --- loop-nest extraction --- *)
+
+let extract_loops nest =
+  let rec go acc = function
+    | Directive.For { var; extent; body } -> go ((var, extent) :: acc) body
+    | Body stmts -> Ok (List.rev acc, stmts)
+    | Seq _ ->
+      fail Imperfect_nest
+        "the loop nest is not perfect: statements or multiple loops at the same level"
+  in
+  go [] nest
+
+let check_loops loops =
+  let rec distinct = function
+    | [] -> Ok ()
+    | (var, _) :: rest ->
+      if List.mem_assoc var rest then
+        fail (Duplicate_loop_var var) "loop variable %S bound twice" var
+      else distinct rest
+  in
+  let* () = distinct loops in
+  let rec positive = function
+    | [] -> Ok ()
+    | (var, extent) :: rest ->
+      if extent <= 0 then
+        fail (Nonpositive_extent var) "loop %S has non-positive extent %d" var extent
+      else positive rest
+  in
+  positive loops
+
+(* --- buffer declarations --- *)
+
+let check_decl_names (dir : Directive.t) =
+  let rec distinct seen = function
+    | [] -> Ok ()
+    | (d : Directive.buffer_decl) :: rest ->
+      if List.mem d.buf_name seen then
+        fail (Duplicate_buffer d.buf_name) "buffer %S declared twice" d.buf_name
+      else distinct (d.buf_name :: seen) rest
+  in
+  distinct [] (dir.outs @ dir.inps)
+
+(* --- body walk: purity, assignment discipline, typing --- *)
+
+let fold_lets lets value =
+  List.fold_right (fun (name, e) acc -> Expr.Let (name, e, acc)) lets value
+
+(* Wrap an expression in the preceding lets only when it actually uses one of
+   the bound names; index expressions that do not depend on local bindings
+   stay raw, keeping them amenable to affine extraction. *)
+let rec uses_vars names = function
+  | Expr.Var v -> List.mem v names
+  | Const _ | Idx _ -> false
+  | Read (_, idxs) -> List.exists (uses_vars names) idxs
+  | Binop (_, a, b) -> uses_vars names a || uses_vars names b
+  | Unop (_, a) | Field (a, _) | Cast (_, a) -> uses_vars names a
+  | If (c, a, b) -> uses_vars names c || uses_vars names a || uses_vars names b
+  | Let (n, a, b) -> uses_vars names a || uses_vars (List.filter (( <> ) n) names) b
+  | MkRecord fields -> List.exists (fun (_, e) -> uses_vars names e) fields
+
+let fold_lets_if_needed lets value =
+  if uses_vars (List.map fst lets) value then fold_lets lets value else value
+
+let find_decl decls name =
+  List.find_opt (fun (d : Directive.buffer_decl) -> String.equal d.buf_name name) decls
+
+let check_reads (dir : Directive.t) e =
+  let bad = ref None in
+  Expr.iter_reads e (fun buf _ ->
+      if !bad = None then
+        if find_decl dir.outs buf <> None then
+          bad := Some { kind = Read_of_output buf;
+                        message =
+                          Printf.sprintf
+                            "output buffer %S is read in the body: the scalar function \
+                             must be reduction-free (use `=`, not `+=`; reductions are \
+                             expressed by combine_ops)"
+                            buf }
+        else if find_decl dir.inps buf = None then
+          bad := Some { kind = Unknown_buffer buf;
+                        message = Printf.sprintf "read of undeclared buffer %S" buf });
+  match !bad with Some e -> Error e | None -> Ok ()
+
+let typecheck_env (dir : Directive.t) loops =
+  { Typecheck.iter_vars = List.map fst loops;
+    buffer_ty =
+      (fun name ->
+        match find_decl dir.inps name with
+        | Some d -> Some d.buf_ty
+        | None -> None) }
+
+let walk_body (dir : Directive.t) loops stmts =
+  let env = typecheck_env dir loops in
+  let typecheck wrapped =
+    match Typecheck.infer env wrapped with
+    | Ok ty -> Ok ty
+    | Error e ->
+      let msg = Format.asprintf "%a" Typecheck.pp_error e in
+      fail (Type_error msg) "%s" msg
+  in
+  let rec go lets assigned = function
+    | [] -> Ok (List.rev assigned)
+    | Directive.Let_stmt (name, e) :: rest ->
+      let wrapped = fold_lets (List.rev lets) e in
+      let* () = check_reads dir wrapped in
+      let* _ty = typecheck wrapped in
+      go ((name, e) :: lets) assigned rest
+    | Assign { target; indices; value } :: rest ->
+      let* decl =
+        match find_decl dir.outs target with
+        | Some d -> Ok d
+        | None ->
+          if find_decl dir.inps target <> None then
+            fail (Assign_to_input target) "assignment to input buffer %S" target
+          else fail (Unknown_buffer target) "assignment to undeclared buffer %S" target
+      in
+      let* () =
+        if List.mem_assoc target assigned then
+          fail (Multiple_assignment target)
+            "output buffer %S assigned more than once per iteration point" target
+        else Ok ()
+      in
+      let wrapped_value = fold_lets_if_needed (List.rev lets) value in
+      let wrapped_indices = List.map (fold_lets_if_needed (List.rev lets)) indices in
+      let* () = check_reads dir wrapped_value in
+      let* () =
+        Mdh_support.Util.list_result_all (List.map (check_reads dir) wrapped_indices)
+        |> Result.map ignore
+      in
+      let* vty = typecheck wrapped_value in
+      let* () =
+        if Scalar.equal_ty vty decl.buf_ty then Ok ()
+        else
+          fail
+            (Type_error
+               (Printf.sprintf "assignment to %S: value type mismatch" target))
+            "assignment to %S has type %s, buffer has type %s" target
+            (Scalar.ty_to_string vty) (Scalar.ty_to_string decl.buf_ty)
+      in
+      let* () =
+        let rec all_integral = function
+          | [] -> Ok ()
+          | ie :: more -> (
+            let* ity = typecheck ie in
+            match ity with
+            | Scalar.Int32 | Int64 -> all_integral more
+            | _ ->
+              fail (Type_error "non-integral index")
+                "index expression `%s` of %S has non-integral type %s" (Expr.to_string ie)
+                target (Scalar.ty_to_string ity))
+        in
+        all_integral wrapped_indices
+      in
+      go lets ((target, (decl, wrapped_indices, wrapped_value)) :: assigned) rest
+  in
+  let* assigned = go [] [] stmts in
+  let* () =
+    let rec all_assigned = function
+      | [] -> Ok ()
+      | (d : Directive.buffer_decl) :: rest ->
+        if List.mem_assoc d.buf_name assigned then all_assigned rest
+        else
+          fail (Missing_assignment d.buf_name) "output buffer %S is never assigned"
+            d.buf_name
+    in
+    all_assigned dir.outs
+  in
+  Ok assigned
+
+(* --- shape inference and checking (footnote 7) --- *)
+
+let infer_shape ~what ~name ~declared ~sizes accesses =
+  (* [accesses]: (index exprs, index fn) pairs for one buffer *)
+  let opaque = List.exists (fun (_, fn) -> not (Index_fn.is_affine fn)) accesses in
+  if opaque then
+    match declared with
+    | Some shape -> Ok shape
+    | None ->
+      fail (Opaque_access_needs_shape name)
+        "%s buffer %S has a non-affine access; its size cannot be inferred and must be \
+         declared"
+        what name
+  else begin
+    let ranks = List.map (fun (_, fn) -> Index_fn.out_rank fn) accesses in
+    match ranks with
+    | [] -> (
+      match declared with
+      | Some shape -> Ok shape
+      | None -> fail (Shape_error name) "%s buffer %S is never accessed" what name)
+    | r0 :: rest when List.for_all (( = ) r0) rest ->
+      let mins = List.map (fun (_, fn) -> Index_fn.min_index fn sizes) accesses in
+      let maxs = List.map (fun (_, fn) -> Index_fn.max_index fn sizes) accesses in
+      let neg = List.exists (Array.exists (fun x -> x < 0)) mins in
+      if neg then
+        fail (Shape_error name) "%s buffer %S is accessed at negative indices" what name
+      else begin
+        let inferred = Array.make r0 0 in
+        List.iter
+          (Array.iteri (fun d m -> if m + 1 > inferred.(d) then inferred.(d) <- m + 1))
+          maxs;
+        match declared with
+        | None -> Ok inferred
+        | Some shape ->
+          if Array.length shape <> r0 then
+            fail (Shape_error name)
+              "%s buffer %S declared with rank %d but accessed with rank %d" what name
+              (Array.length shape) r0
+          else if Array.exists2 (fun s i -> s < i) shape inferred then
+            fail (Shape_error name)
+              "%s buffer %S declared as %s but accesses reach %s" what name
+              (Shape.to_string shape) (Shape.to_string inferred)
+          else Ok shape
+      end
+    | _ ->
+      fail (Shape_error name) "%s buffer %S accessed with inconsistent ranks" what name
+  end
+
+(* --- output-view discipline --- *)
+
+let check_out_view ~sizes ~combine_ops name fn =
+  match fn with
+  | Index_fn.Opaque _ ->
+    fail (Invalid_out_view name) "output access of %S must be affine" name
+  | Index_fn.Affine _ ->
+    let rank = Array.length sizes in
+    let rec check_dims d =
+      if d = rank then Ok ()
+      else if
+        Combine.collapses combine_ops.(d)
+        && Index_fn.uses_dim fn d = Some true
+      then
+        fail (Invalid_out_view name)
+          "output access of %S depends on dimension %d, which is collapsed by %s" name d
+          (Combine.name combine_ops.(d))
+      else check_dims (d + 1)
+    in
+    let* () = check_dims 0 in
+    let subspace =
+      Array.mapi (fun d n -> if Combine.collapses combine_ops.(d) then 1 else n) sizes
+    in
+    (match Index_fn.injective_on fn subspace with
+    | Some true -> Ok ()
+    | Some false ->
+      fail (Invalid_out_view name)
+        "output access of %S is not injective on the non-collapsed subspace: combined \
+         results would overwrite each other"
+        name
+    | None ->
+      fail (Invalid_out_view name) "could not prove injectivity of output access of %S"
+        name)
+
+(* --- top level --- *)
+
+let elaborate (dir : Directive.t) =
+  let* loops, stmts = extract_loops dir.nest in
+  let* () = check_loops loops in
+  let dims = Array.of_list (List.map fst loops) in
+  let sizes = Array.of_list (List.map snd loops) in
+  let* () =
+    let dims_n = Array.length dims and ops_n = List.length dir.combine_ops in
+    if dims_n = ops_n then Ok ()
+    else
+      fail
+        (Combine_op_arity { dims = dims_n; ops = ops_n })
+        "combine_ops has %d entries but the loop nest has depth %d" ops_n dims_n
+  in
+  let combine_ops = Array.of_list dir.combine_ops in
+  let* () =
+    let has_pw = Array.exists (function Combine.Pw _ -> true | _ -> false) combine_ops in
+    let has_ps = Array.exists (function Combine.Ps _ -> true | _ -> false) combine_ops in
+    if has_pw && has_ps then
+      fail Mixed_reduction_kinds
+        "pw and ps combine operators cannot be mixed in one computation: their \
+         nesting does not satisfy the interchange law the MDH decomposition relies on"
+    else Ok ()
+  in
+  let* () = check_decl_names dir in
+  let* assigned = walk_body dir loops stmts in
+  (* outputs *)
+  let* outs =
+    Mdh_support.Util.list_result_all
+      (List.map
+         (fun (name, ((decl : Directive.buffer_decl), indices, value)) ->
+           let fn = Analysis.index_fn_of_exprs ~dims indices in
+           let* shape =
+             infer_shape ~what:"output" ~name ~declared:decl.buf_shape ~sizes
+               [ (indices, fn) ]
+           in
+           let* () = check_out_view ~sizes ~combine_ops name fn in
+           Ok { eo_name = name; eo_ty = decl.buf_ty; eo_shape = shape;
+                eo_indices = indices; eo_fn = fn; eo_value = value })
+         assigned)
+  in
+  (* inputs: distinct textual accesses over all assigned values *)
+  let* inps =
+    Mdh_support.Util.list_result_all
+      (List.map
+         (fun (decl : Directive.buffer_decl) ->
+           let name = decl.buf_name in
+           let accesses = ref [] in
+           List.iter
+             (fun (_, (_, _, value)) ->
+               Expr.iter_reads value (fun buf idxs ->
+                   if String.equal buf name && not (List.mem idxs !accesses) then
+                     accesses := idxs :: !accesses))
+             assigned;
+           let accesses =
+             List.rev_map (fun idxs -> (idxs, Analysis.index_fn_of_exprs ~dims idxs))
+               !accesses
+           in
+           let* shape =
+             infer_shape ~what:"input" ~name ~declared:decl.buf_shape ~sizes accesses
+           in
+           Ok { ei_name = name; ei_ty = decl.buf_ty; ei_shape = shape;
+                ei_accesses = accesses })
+         dir.inps)
+  in
+  Ok { el_dims = dims; el_sizes = sizes; el_combine_ops = combine_ops;
+       el_outs = outs; el_inps = inps }
+
+let run dir = Result.map ignore (elaborate dir)

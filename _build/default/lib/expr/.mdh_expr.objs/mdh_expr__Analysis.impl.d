@@ -1,0 +1,1 @@
+lib/expr/analysis.ml: Array Eval Expr Int Int32 Int64 List Mdh_tensor String

@@ -1,0 +1,1 @@
+lib/expr/analysis.mli: Expr Mdh_tensor

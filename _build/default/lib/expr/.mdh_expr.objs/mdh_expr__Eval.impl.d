@@ -1,0 +1,1 @@
+lib/expr/eval.ml: Array Expr Format Int32 Int64 List Mdh_tensor

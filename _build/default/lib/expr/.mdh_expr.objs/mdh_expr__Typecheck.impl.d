@@ -1,0 +1,1 @@
+lib/expr/typecheck.ml: Expr Format List Mdh_support Mdh_tensor Result

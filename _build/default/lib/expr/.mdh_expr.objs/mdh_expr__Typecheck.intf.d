@@ -1,0 +1,1 @@
+lib/expr/typecheck.mli: Expr Format Mdh_tensor

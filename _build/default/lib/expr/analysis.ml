@@ -1,0 +1,203 @@
+module Index_fn = Mdh_tensor.Index_fn
+module Scalar = Mdh_tensor.Scalar
+
+(* Affine form: coefficients per iteration dim + constant, or failure. *)
+type affine = { coeffs : int array; offset : int }
+
+let rec affine_of_expr ~dims e : affine option =
+  let arity = Array.length dims in
+  let const offset = Some { coeffs = Array.make arity 0; offset } in
+  match e with
+  | Expr.Const (Scalar.I32 x) -> const (Int32.to_int x)
+  | Const (Scalar.I64 x) -> const (Int64.to_int x)
+  | Idx name -> (
+    match Array.find_index (String.equal name) dims with
+    | Some d ->
+      let coeffs = Array.make arity 0 in
+      coeffs.(d) <- 1;
+      Some { coeffs; offset = 0 }
+    | None -> None)
+  | Binop (Add, a, b) -> combine ~dims ( + ) a b
+  | Binop (Sub, a, b) -> combine ~dims ( - ) a b
+  | Binop (Mul, a, b) -> (
+    match (affine_of_expr ~dims a, affine_of_expr ~dims b) with
+    | Some fa, Some fb ->
+      let is_const f = Array.for_all (( = ) 0) f.coeffs in
+      if is_const fa then
+        Some { coeffs = Array.map (fun c -> c * fa.offset) fb.coeffs;
+               offset = fa.offset * fb.offset }
+      else if is_const fb then
+        Some { coeffs = Array.map (fun c -> c * fb.offset) fa.coeffs;
+               offset = fa.offset * fb.offset }
+      else None
+    | _ -> None)
+  | Unop (Neg, a) -> (
+    match affine_of_expr ~dims a with
+    | Some f -> Some { coeffs = Array.map Int.neg f.coeffs; offset = -f.offset }
+    | None -> None)
+  | _ -> None
+
+and combine ~dims op a b =
+  match (affine_of_expr ~dims a, affine_of_expr ~dims b) with
+  | Some fa, Some fb ->
+    Some { coeffs = Array.map2 op fa.coeffs fb.coeffs; offset = op fa.offset fb.offset }
+  | _ -> None
+
+let affine_of_index_exprs ~dims exprs =
+  let rec loop acc = function
+    | [] ->
+      Some
+        (Index_fn.affine ~arity:(Array.length dims)
+           (List.rev_map
+              (fun { coeffs; offset } -> Index_fn.coord ~coeffs ~offset)
+              acc))
+    | e :: rest -> (
+      match affine_of_expr ~dims e with
+      | Some f -> loop (f :: acc) rest
+      | None -> None)
+  in
+  loop [] exprs
+
+let index_fn_of_exprs ~dims exprs =
+  match affine_of_index_exprs ~dims exprs with
+  | Some fn -> fn
+  | None ->
+    let arity = Array.length dims in
+    let out_rank = List.length exprs in
+    Index_fn.opaque ~arity ~out_rank (fun point ->
+        let iter = List.init arity (fun d -> (dims.(d), point.(d))) in
+        let ctx =
+          { Eval.iter;
+            read = (fun buf _ -> raise (Eval.Eval_error ("read of " ^ buf ^ " in index")))
+          }
+        in
+        Eval.eval_indices ctx exprs)
+
+let reads e =
+  let acc = ref [] in
+  Expr.iter_reads e (fun buf idxs -> acc := (buf, idxs) :: !acc);
+  List.rev !acc
+
+let rec flops = function
+  | Expr.Const _ | Idx _ | Var _ -> 0
+  | Read (_, idxs) -> List.fold_left (fun acc i -> acc + flops i) 0 idxs
+  | Binop (_, a, b) -> 1 + flops a + flops b
+  | Unop (_, a) -> 1 + flops a
+  | If (c, a, b) -> 1 + flops c + max (flops a) (flops b)
+  | Let (_, e1, e2) -> flops e1 + flops e2
+  | Field (a, _) | Cast (_, a) -> flops a
+  | MkRecord fields -> List.fold_left (fun acc (_, e) -> acc + flops e) 0 fields
+
+(* --- simplification --- *)
+
+let is_int_const n = function
+  | Expr.Const (Scalar.I32 x) -> Int32.to_int x = n
+  | Expr.Const (Scalar.I64 x) -> Int64.to_int x = n
+  | _ -> false
+
+let int_consts a b =
+  match (a, b) with
+  | Expr.Const (Scalar.I32 x), Expr.Const (Scalar.I32 y) ->
+    Some (Int32.to_int x, Int32.to_int y, fun n -> Expr.Const (Scalar.i32 n))
+  | Expr.Const (Scalar.I64 x), Expr.Const (Scalar.I64 y) ->
+    Some (Int64.to_int x, Int64.to_int y, fun n -> Expr.Const (Scalar.i64 n))
+  | _ -> None
+
+let rec uses_var name = function
+  | Expr.Var v -> String.equal v name
+  | Const _ | Idx _ -> false
+  | Read (_, idxs) -> List.exists (uses_var name) idxs
+  | Binop (_, a, b) -> uses_var name a || uses_var name b
+  | Unop (_, a) | Field (a, _) | Cast (_, a) -> uses_var name a
+  | If (c, a, b) -> uses_var name c || uses_var name a || uses_var name b
+  | Let (n, a, b) -> uses_var name a || ((not (String.equal n name)) && uses_var name b)
+  | MkRecord fields -> List.exists (fun (_, e) -> uses_var name e) fields
+
+let rec simplify e =
+  match e with
+  | Expr.Const _ | Idx _ | Var _ -> e
+  | Read (buf, idxs) -> Read (buf, List.map simplify idxs)
+  | Binop (op, a, b) -> simplify_binop op (simplify a) (simplify b)
+  | Unop (Expr.Neg, a) -> (
+    match simplify a with
+    | Expr.Unop (Expr.Neg, inner) -> inner
+    | a' -> Unop (Expr.Neg, a'))
+  | Unop (Expr.Not, a) -> (
+    match simplify a with
+    | Expr.Const (Scalar.B b) -> Const (Scalar.B (not b))
+    | Expr.Unop (Expr.Not, inner) -> inner
+    | a' -> Unop (Expr.Not, a'))
+  | If (c, a, b) -> (
+    match simplify c with
+    | Expr.Const (Scalar.B true) -> simplify a
+    | Expr.Const (Scalar.B false) -> simplify b
+    | c' -> If (c', simplify a, simplify b))
+  | Let (name, value, body) ->
+    let body' = simplify body in
+    if uses_var name body' then Let (name, simplify value, body')
+    else body' (* the binding is pure by construction *)
+  | Field (a, name) -> Field (simplify a, name)
+  | MkRecord fields -> MkRecord (List.map (fun (n, fe) -> (n, simplify fe)) fields)
+  | Cast (ty, a) -> Cast (ty, simplify a)
+
+and simplify_binop op a b =
+  let default = Expr.Binop (op, a, b) in
+  match op with
+  | Expr.Add -> (
+    if is_int_const 0 a then b
+    else if is_int_const 0 b then a
+    else
+      match int_consts a b with
+      | Some (x, y, mk) -> mk (x + y)
+      | None -> default)
+  | Sub -> (
+    if is_int_const 0 b then a
+    else
+      match int_consts a b with
+      | Some (x, y, mk) -> mk (x - y)
+      | None -> default)
+  | Mul -> (
+    if is_int_const 1 a then b
+    else if is_int_const 1 b then a
+    else if is_int_const 0 a then a
+    else if is_int_const 0 b then b
+    else
+      match int_consts a b with
+      | Some (x, y, mk) -> mk (x * y)
+      | None -> default)
+  | And -> (
+    match (a, b) with
+    | Expr.Const (Scalar.B true), other | other, Expr.Const (Scalar.B true) -> other
+    | (Expr.Const (Scalar.B false) as f), _ -> f
+    | _ -> default)
+  | Or -> (
+    match (a, b) with
+    | Expr.Const (Scalar.B false), other | other, Expr.Const (Scalar.B false) -> other
+    | (Expr.Const (Scalar.B true) as t), _ -> t
+    | _ -> default)
+  | Div | Min | Max | Eq | Ne | Lt | Le | Gt | Ge -> default
+
+let rec reads_buffer tainted = function
+  | Expr.Read _ -> true
+  | Const _ | Idx _ -> false
+  | Var name -> List.mem name tainted
+  | Binop (_, a, b) -> reads_buffer tainted a || reads_buffer tainted b
+  | Unop (_, a) | Field (a, _) | Cast (_, a) -> reads_buffer tainted a
+  | If (c, a, b) ->
+    reads_buffer tainted c || reads_buffer tainted a || reads_buffer tainted b
+  | Let (_, e1, e2) -> reads_buffer tainted e1 || reads_buffer tainted e2
+  | MkRecord fields -> List.exists (fun (_, e) -> reads_buffer tainted e) fields
+
+let contains_data_dependent_branch e =
+  let rec go tainted = function
+    | Expr.If (c, a, b) -> reads_buffer tainted c || go tainted a || go tainted b
+    | Const _ | Idx _ | Var _ -> false
+    | Read (_, idxs) -> List.exists (go tainted) idxs
+    | Binop (_, a, b) -> go tainted a || go tainted b
+    | Unop (_, a) | Field (a, _) | Cast (_, a) -> go tainted a
+    | Let (name, e1, e2) ->
+      let tainted' = if reads_buffer tainted e1 then name :: tainted else tainted in
+      go tainted e1 || go tainted' e2
+    | MkRecord fields -> List.exists (fun (_, fe) -> go tainted fe) fields
+  in
+  go [] e

@@ -1,0 +1,117 @@
+module Scalar = Mdh_tensor.Scalar
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Min | Max
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type t =
+  | Const of Scalar.value
+  | Idx of string
+  | Var of string
+  | Read of string * t list
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | If of t * t * t
+  | Let of string * t * t
+  | Field of t * string
+  | MkRecord of (string * t) list
+  | Cast of Mdh_tensor.Scalar.ty * t
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | Min -> "min" | Max -> "max"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+let pp_binop ppf op = Format.pp_print_string ppf (binop_symbol op)
+
+let rec pp ppf = function
+  | Const v -> Scalar.pp_value ppf v
+  | Idx name | Var name -> Format.pp_print_string ppf name
+  | Read (buf, idxs) ->
+    Format.fprintf ppf "%s[%a]" buf
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") pp)
+      idxs
+  | Binop ((Min | Max) as op, a, b) ->
+    Format.fprintf ppf "%s(%a, %a)" (binop_symbol op) pp a pp b
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_symbol op) pp b
+  | Unop (Neg, e) -> Format.fprintf ppf "(-%a)" pp e
+  | Unop (Not, e) -> Format.fprintf ppf "(!%a)" pp e
+  | If (c, a, b) -> Format.fprintf ppf "(if %a then %a else %a)" pp c pp a pp b
+  | Let (name, e, body) -> Format.fprintf ppf "(let %s = %a in %a)" name pp e pp body
+  | Field (e, name) -> Format.fprintf ppf "%a.%s" pp e name
+  | MkRecord fields ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf (name, e) -> Format.fprintf ppf "%s=%a" name pp e))
+      fields
+  | Cast (ty, e) -> Format.fprintf ppf "(%a)%a" Scalar.pp_ty ty pp e
+
+let to_string e = Format.asprintf "%a" pp e
+
+let idx name = Idx name
+let var name = Var name
+let int n = Const (Scalar.i32 n)
+let f32 x = Const (Scalar.f32 x)
+let f64 x = Const (Scalar.f64 x)
+let read buf idxs = Read (buf, idxs)
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( = ) a b = Binop (Eq, a, b)
+let ( <> ) a b = Binop (Ne, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+let ( && ) a b = Binop (And, a, b)
+let ( || ) a b = Binop (Or, a, b)
+let if_ c a b = If (c, a, b)
+let let_ name e body = Let (name, e, body)
+let field e name = Field (e, name)
+let cast ty e = Cast (ty, e)
+
+let rec iter_reads e f =
+  match e with
+  | Const _ | Idx _ | Var _ -> ()
+  | Read (buf, idxs) ->
+    f buf idxs;
+    List.iter (fun i -> iter_reads i f) idxs
+  | Binop (_, a, b) ->
+    iter_reads a f;
+    iter_reads b f
+  | Unop (_, a) | Field (a, _) | Cast (_, a) -> iter_reads a f
+  | If (c, a, b) ->
+    iter_reads c f;
+    iter_reads a f;
+    iter_reads b f
+  | Let (_, e1, e2) ->
+    iter_reads e1 f;
+    iter_reads e2 f
+  | MkRecord fields -> List.iter (fun (_, e) -> iter_reads e f) fields
+
+let free_idx_vars e =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec go = function
+    | Idx name ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        order := name :: !order
+      end
+    | Const _ | Var _ -> ()
+    | Read (_, idxs) -> List.iter go idxs
+    | Binop (_, a, b) -> go a; go b
+    | Unop (_, a) | Field (a, _) | Cast (_, a) -> go a
+    | If (c, a, b) -> go c; go a; go b
+    | Let (_, e1, e2) -> go e1; go e2
+    | MkRecord fields -> List.iter (fun (_, e) -> go e) fields
+  in
+  go e;
+  List.rev !order

@@ -1,0 +1,64 @@
+(** The pure scalar-function language [SF] of the MDH directive
+    (Listing 14, Section 4.2): expressions over iteration indices, buffer
+    element reads, local bindings, conditionals and record fields. The
+    language is pure by construction — reads are the only interaction with
+    buffers and there is no assignment form — which discharges the paper's
+    requirement that the loop body "consists of an arbitrary but pure scalar
+    function". *)
+
+type binop =
+  | Add | Sub | Mul | Div
+  | Min | Max
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+type t =
+  | Const of Mdh_tensor.Scalar.value
+  | Idx of string  (** iteration variable, e.g. ["i"] *)
+  | Var of string  (** local binding introduced by [Let] *)
+  | Read of string * t list  (** buffer element access: name, index exprs *)
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | If of t * t * t
+  | Let of string * t * t
+  | Field of t * string  (** record field projection *)
+  | MkRecord of (string * t) list
+  | Cast of Mdh_tensor.Scalar.ty * t  (** numeric conversion *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val pp_binop : Format.formatter -> binop -> unit
+
+(* Convenient constructors for embedded use (see examples/). *)
+
+val idx : string -> t
+val var : string -> t
+val int : int -> t
+val f32 : float -> t
+val f64 : float -> t
+val read : string -> t list -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> t
+val ( <> ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val if_ : t -> t -> t -> t
+val let_ : string -> t -> t -> t
+val field : t -> string -> t
+val cast : Mdh_tensor.Scalar.ty -> t -> t
+
+val iter_reads : t -> (string -> t list -> unit) -> unit
+(** Visit every [Read] node (including reads nested in index expressions). *)
+
+val free_idx_vars : t -> string list
+(** Iteration variables referenced, in first-use order. *)

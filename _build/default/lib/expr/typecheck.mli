@@ -1,0 +1,20 @@
+(** Static typing of scalar-function expressions.
+
+    Iteration variables have type [Int32]; index expressions must be
+    integral; arithmetic requires both operands of the same numeric type;
+    [And]/[Or] require [Bool]; comparisons yield [Bool]. *)
+
+type env = {
+  iter_vars : string list;  (** iteration variable names in scope *)
+  buffer_ty : string -> Mdh_tensor.Scalar.ty option;
+      (** element type of a buffer, or [None] if unknown *)
+}
+
+type error = { expr : Expr.t; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val infer : env -> Expr.t -> (Mdh_tensor.Scalar.ty, error) result
+(** Type of a closed expression (no free [Var]s other than [Let]-bound). *)
+
+val check : env -> expected:Mdh_tensor.Scalar.ty -> Expr.t -> (unit, error) result

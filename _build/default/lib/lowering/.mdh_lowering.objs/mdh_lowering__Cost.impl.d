@@ -1,0 +1,1 @@
+lib/lowering/cost.ml: Array Float Footprint List Mdh_combine Mdh_core Mdh_machine Mdh_support Mdh_tensor Result Schedule

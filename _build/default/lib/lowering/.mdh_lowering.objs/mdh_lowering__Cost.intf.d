@@ -1,0 +1,1 @@
+lib/lowering/cost.mli: Mdh_core Mdh_machine Schedule

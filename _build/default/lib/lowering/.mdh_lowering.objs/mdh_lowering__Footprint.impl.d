@@ -1,0 +1,1 @@
+lib/lowering/footprint.ml: Array Hashtbl List Mdh_combine Mdh_core Mdh_tensor

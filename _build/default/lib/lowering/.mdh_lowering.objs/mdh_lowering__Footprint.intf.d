@@ -1,0 +1,1 @@
+lib/lowering/footprint.mli: Mdh_core Mdh_tensor

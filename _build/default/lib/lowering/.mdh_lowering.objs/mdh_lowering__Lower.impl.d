@@ -1,0 +1,1 @@
+lib/lowering/lower.ml: Array Cost Fun List Mdh_combine Mdh_core Mdh_machine Mdh_support Schedule

@@ -1,0 +1,1 @@
+lib/lowering/lower.mli: Cost Mdh_core Mdh_machine Schedule

@@ -1,0 +1,1 @@
+lib/lowering/plan.ml: Array Format Fun List Mdh_combine Mdh_core Mdh_machine Schedule String

@@ -1,0 +1,1 @@
+lib/lowering/plan.mli: Format Mdh_core Mdh_machine Schedule

@@ -1,0 +1,1 @@
+lib/lowering/schedule.ml: Array Format List Mdh_combine Mdh_core Mdh_machine Mdh_support Printf Result String

@@ -1,0 +1,1 @@
+lib/lowering/schedule.mli: Format Mdh_core Mdh_machine

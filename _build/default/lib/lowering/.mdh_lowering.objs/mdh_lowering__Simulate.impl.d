@@ -1,0 +1,1 @@
+lib/lowering/simulate.ml: Cost Mdh_core Mdh_machine Mdh_tensor Schedule

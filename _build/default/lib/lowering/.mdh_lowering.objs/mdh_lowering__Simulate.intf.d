@@ -1,0 +1,1 @@
+lib/lowering/simulate.mli: Cost Mdh_core Mdh_machine Mdh_tensor Schedule

@@ -1,0 +1,76 @@
+module Md_hom = Mdh_core.Md_hom
+module Index_fn = Mdh_tensor.Index_fn
+module Shape = Mdh_tensor.Shape
+module Scalar = Mdh_tensor.Scalar
+module Combine = Mdh_combine.Combine
+
+(* Group affine accesses by their coefficient matrix: members differ only in
+   offsets, so the union of their images over a box is the per-coordinate
+   range [min offset + lo, max offset + hi]. *)
+let union_footprint_of_family ~box coords_list =
+  (* coords_list: non-empty list of coord arrays sharing coefficients *)
+  let arity = Array.length box in
+  let representative = List.hd coords_list in
+  let n_out = Array.length representative in
+  let size = ref 1 in
+  for c = 0 to n_out - 1 do
+    let lo = ref max_int and hi = ref min_int in
+    List.iter
+      (fun coords ->
+        let { Index_fn.coeffs; offset } = coords.(c) in
+        let clo = ref offset and chi = ref offset in
+        for d = 0 to arity - 1 do
+          let a = coeffs.(d) in
+          if a > 0 then chi := !chi + (a * (box.(d) - 1))
+          else if a < 0 then clo := !clo + (a * (box.(d) - 1))
+        done;
+        if !clo < !lo then lo := !clo;
+        if !chi > !hi then hi := !chi)
+      coords_list;
+    size := !size * (!hi - !lo + 1)
+  done;
+  !size
+
+let access_bytes (input : Md_hom.input) ~box =
+  let elem = Scalar.size_bytes input.inp_ty in
+  let affine_families = Hashtbl.create 4 in
+  let opaque = ref false in
+  List.iter
+    (fun (a : Md_hom.access) ->
+      match a.fn with
+      | Index_fn.Affine { coords; _ } ->
+        let key = Array.to_list (Array.map (fun c -> Array.to_list c.Index_fn.coeffs) coords) in
+        Hashtbl.replace affine_families key
+          (coords :: (try Hashtbl.find affine_families key with Not_found -> []))
+      | Index_fn.Opaque _ -> opaque := true)
+    input.accesses;
+  if !opaque then Shape.num_elements input.inp_shape * elem
+  else begin
+    let elements =
+      Hashtbl.fold
+        (fun _ family acc -> acc + union_footprint_of_family ~box family)
+        affine_families 0
+    in
+    (* never more than the buffer itself *)
+    min elements (Shape.num_elements input.inp_shape) * elem
+  end
+
+let tile_input_bytes (md : Md_hom.t) ~box =
+  List.fold_left (fun acc input -> acc + access_bytes input ~box) 0 md.inputs
+
+let tile_output_bytes (md : Md_hom.t) ~box =
+  (* per-tile result extent: collapsed dims produce one cell per tile *)
+  let result_cells =
+    Array.to_list md.combine_ops
+    |> List.mapi (fun d op -> Combine.result_extent op box.(d))
+    |> List.fold_left ( * ) 1
+  in
+  List.fold_left
+    (fun acc (o : Md_hom.output) -> acc + (result_cells * Scalar.size_bytes o.out_ty))
+    0 md.outputs
+
+let naive_read_bytes (md : Md_hom.t) =
+  float_of_int (Md_hom.total_points md) *. float_of_int (Md_hom.bytes_read_per_point md)
+
+let compulsory_bytes (md : Md_hom.t) =
+  float_of_int (Md_hom.input_bytes md + Md_hom.bytes_written md)

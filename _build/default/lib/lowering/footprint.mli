@@ -1,0 +1,23 @@
+(** Working-set (footprint) analysis of buffer accesses over tile boxes —
+    the data-movement half of the cost model. *)
+
+val access_bytes :
+  Mdh_core.Md_hom.input -> box:Mdh_tensor.Shape.t -> int
+(** Bytes of this input buffer touched by one tile of extents [box]:
+    the union over the buffer's accesses. Accesses sharing coefficient
+    vectors (a stencil family differing only in offsets) are unioned
+    exactly; unrelated accesses are summed (conservative). Opaque accesses
+    fall back to the whole buffer. *)
+
+val tile_input_bytes : Mdh_core.Md_hom.t -> box:Mdh_tensor.Shape.t -> int
+(** Total input working set of one tile. *)
+
+val tile_output_bytes : Mdh_core.Md_hom.t -> box:Mdh_tensor.Shape.t -> int
+(** Output cells written by one tile (after per-tile combination). *)
+
+val naive_read_bytes : Mdh_core.Md_hom.t -> float
+(** Traffic when every textual access misses: points x bytes per point. *)
+
+val compulsory_bytes : Mdh_core.Md_hom.t -> float
+(** Lower bound: every input buffer element read once, every output written
+    once. *)

@@ -1,0 +1,65 @@
+module Md_hom = Mdh_core.Md_hom
+module Combine = Mdh_combine.Combine
+module Device = Mdh_machine.Device
+module Util = Mdh_support.Util
+
+let all_layers (dev : Device.t) = List.init (Array.length dev.layers) Fun.id
+
+let parallelisable_dims (md : Md_hom.t) =
+  List.filter
+    (fun d -> Combine.parallelisable md.combine_ops.(d))
+    (List.init (Md_hom.rank md) Fun.id)
+
+let mdh_default (md : Md_hom.t) (dev : Device.t) =
+  (* choose a uniform power-of-two tile so that the working set roughly fits
+     the innermost cache *)
+  let cache = (Device.innermost_cache dev).Device.capacity_bytes in
+  let bytes_per_point = max 4 (Md_hom.bytes_read_per_point md) in
+  let rank = Md_hom.rank md in
+  let budget_points = max 1 (cache / bytes_per_point) in
+  let per_dim =
+    int_of_float (float_of_int budget_points ** (1.0 /. float_of_int (max 1 rank)))
+  in
+  let tile d =
+    let cap = max 1 per_dim in
+    let rec pow2 p = if p * 2 <= cap then pow2 (p * 2) else p in
+    min md.sizes.(d) (pow2 1)
+  in
+  { Schedule.tile_sizes = Array.init rank tile;
+    parallel_dims = parallelisable_dims md;
+    used_layers = all_layers dev }
+
+let tile_options (md : Md_hom.t) ~dim =
+  let extent = md.sizes.(dim) in
+  List.sort_uniq compare (extent :: Util.pow2_up_to extent)
+
+let parallel_dim_options (md : Md_hom.t) =
+  let dims = parallelisable_dims md in
+  let n = List.length dims in
+  if n = 0 then [ [] ]
+  else begin
+    let dims = Array.of_list dims in
+    let cap = min (1 lsl n) 4096 in
+    let subsets = ref [] in
+    for mask = 1 to cap - 1 do
+      let subset = ref [] in
+      for b = n - 1 downto 0 do
+        if mask land (1 lsl b) <> 0 then subset := dims.(b) :: !subset
+      done;
+      subsets := !subset :: !subsets
+    done;
+    List.sort
+      (fun a b -> compare (List.length b, a) (List.length a, b))
+      !subsets
+  end
+
+let best_of md dev cg schedules =
+  List.fold_left
+    (fun best sched ->
+      match Cost.seconds md dev cg sched with
+      | Error _ -> best
+      | Ok s -> (
+        match best with
+        | Some (_, s') when s' <= s -> best
+        | _ -> Some (sched, s)))
+    None schedules

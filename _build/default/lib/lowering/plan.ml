@@ -1,0 +1,118 @@
+module Md_hom = Mdh_core.Md_hom
+module Combine = Mdh_combine.Combine
+module Device = Mdh_machine.Device
+
+type level =
+  | Distribute of { dims : int list; over : string; units : int; points : int }
+  | Tree_reduce of { dim : int; op : string; items : int }
+  | Tile of { dim : int; tile : int; extent : int }
+  | Seq of { dim : int; extent : int }
+  | Accumulate of { dim : int; op : string; extent : int }
+  | Scan of { dim : int; op : string; extent : int }
+
+type t = {
+  levels : level list;
+  point_flops : int;
+}
+
+let build (md : Md_hom.t) (dev : Device.t) sched =
+  match Schedule.legal md dev sched with
+  | Error _ as e -> e
+  | Ok () ->
+    let sched = Schedule.clamp md sched in
+    let rank = Md_hom.rank md in
+    let parallel d = List.mem d sched.Schedule.parallel_dims in
+    let par_cc =
+      List.filter
+        (fun d -> parallel d && not (Combine.is_reduction md.combine_ops.(d)))
+        (List.init rank Fun.id)
+    in
+    let layer_names =
+      match sched.Schedule.used_layers with
+      | [] -> "host"
+      | layers ->
+        String.concat "+"
+          (List.map (fun l -> dev.Device.layers.(l).Device.layer_name) layers)
+    in
+    let units =
+      List.fold_left
+        (fun acc l -> acc * dev.Device.layers.(l).Device.max_units)
+        1 sched.Schedule.used_layers
+    in
+    let tree_dim =
+      List.find_opt
+        (fun d ->
+          parallel d
+          && match md.combine_ops.(d) with Combine.Pw _ -> true | _ -> false)
+        (List.init rank Fun.id)
+    in
+    let distribute =
+      if par_cc = [] then []
+      else
+        [ Distribute
+            { dims = par_cc; over = layer_names; units;
+              points = List.fold_left (fun acc d -> acc * md.sizes.(d)) 1 par_cc } ]
+    in
+    let tree =
+      match tree_dim with
+      | Some d ->
+        [ Tree_reduce
+            { dim = d; op = Combine.name md.combine_ops.(d);
+              items = min 256 md.sizes.(d) } ]
+      | None -> []
+    in
+    let sequential =
+      List.concat_map
+        (fun d ->
+          if parallel d && (List.mem d par_cc || Some d = tree_dim) then []
+          else
+            let extent = md.sizes.(d) in
+            let tile = sched.Schedule.tile_sizes.(d) in
+            match md.combine_ops.(d) with
+            | Combine.Cc ->
+              if tile < extent then [ Tile { dim = d; tile; extent }; Seq { dim = d; extent = tile } ]
+              else [ Seq { dim = d; extent } ]
+            | Combine.Pw fn ->
+              [ Accumulate { dim = d; op = "pw(" ^ fn.Combine.fn_name ^ ")"; extent } ]
+            | Combine.Ps fn ->
+              [ Scan { dim = d; op = "ps(" ^ fn.Combine.fn_name ^ ")"; extent } ])
+        (List.init rank Fun.id)
+    in
+    Ok { levels = distribute @ tree @ sequential; point_flops = Md_hom.flops_per_point md }
+
+let pp_level ppf level =
+  match level with
+  | Distribute { dims; over; units; points } ->
+    Format.fprintf ppf "distribute dims [%s] (%d points) over %s (%d units)"
+      (String.concat "," (List.map string_of_int dims))
+      points over units
+  | Tree_reduce { dim; op; items } ->
+    Format.fprintf ppf "tree-reduce dim %d with %s (%d cooperating items)" dim op items
+  | Tile { dim; tile; extent } ->
+    Format.fprintf ppf "tile dim %d: %d-element cache blocks of %d" dim tile extent
+  | Seq { dim; extent } -> Format.fprintf ppf "for dim %d in 0..%d" dim extent
+  | Accumulate { dim; op; extent } ->
+    Format.fprintf ppf "accumulate dim %d with %s over %d" dim op extent
+  | Scan { dim; op; extent } ->
+    Format.fprintf ppf "scan dim %d with %s over %d" dim op extent
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i level ->
+      Format.fprintf ppf "%s%a@," (String.make (2 * i) ' ') pp_level level)
+    t.levels;
+  Format.fprintf ppf "%spoint: scalar function (%d ops)@]"
+    (String.make (2 * List.length t.levels) ' ')
+    t.point_flops
+
+let parallelism t =
+  List.fold_left
+    (fun acc level ->
+      match level with
+      | Tree_reduce { items; _ } -> acc * items
+      | Distribute { units; points; _ } -> acc * min units points
+      | Tile _ | Seq _ | Accumulate _ | Scan _ -> acc)
+    1 t.levels
+
+let depth t = List.length t.levels + 1

@@ -1,0 +1,43 @@
+(** The low-level execution plan: a descriptive IR of how a schedule
+    decomposes a computation — the reproduction's counterpart of the MDH
+    formalism's *low-level program representation* (paper footnote 5),
+    which records the de/re-composition structure the lowering chose.
+
+    The plan is a nest of levels, outermost first: parallel distribution of
+    concatenation dimensions over device layers, cooperative tree reduction
+    for a parallelised [pw] dimension, cache-tiled or plain sequential
+    loops, accumulation for sequential reductions, running scans for [ps],
+    and the point computation at the leaf. The same structure drives the
+    kernel generator and the simulator; here it is materialised for
+    inspection ([mdhc show --plan]) and testing. *)
+
+type level =
+  | Distribute of { dims : int list; over : string; units : int; points : int }
+      (** cc dims linearised across a device layer *)
+  | Tree_reduce of { dim : int; op : string; items : int }
+      (** cooperative tree reduction over work items *)
+  | Tile of { dim : int; tile : int; extent : int }
+      (** cache-tile loop pair *)
+  | Seq of { dim : int; extent : int }
+      (** plain sequential loop *)
+  | Accumulate of { dim : int; op : string; extent : int }
+      (** sequential reduction fold *)
+  | Scan of { dim : int; op : string; extent : int }
+      (** running prefix scan *)
+
+type t = {
+  levels : level list;  (** outermost first *)
+  point_flops : int;  (** scalar-function cost at the leaf *)
+}
+
+val build : Mdh_core.Md_hom.t -> Mdh_machine.Device.t -> Schedule.t -> (t, string) result
+(** Fails iff the schedule is illegal. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering. *)
+
+val parallelism : t -> int
+(** Product of distributed/tree-reduced extents — the concurrency the plan
+    exposes. *)
+
+val depth : t -> int

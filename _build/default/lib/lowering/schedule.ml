@@ -1,0 +1,102 @@
+module Md_hom = Mdh_core.Md_hom
+module Combine = Mdh_combine.Combine
+module Device = Mdh_machine.Device
+
+type t = {
+  tile_sizes : int array;
+  parallel_dims : int list;
+  used_layers : int list;
+}
+
+let sequential (md : Md_hom.t) =
+  { tile_sizes = Array.copy md.sizes; parallel_dims = []; used_layers = [] }
+
+let legal (md : Md_hom.t) (dev : Device.t) t =
+  let rank = Md_hom.rank md in
+  if Array.length t.tile_sizes <> rank then
+    Error
+      (Printf.sprintf "schedule has %d tile sizes for a rank-%d computation"
+         (Array.length t.tile_sizes) rank)
+  else if Array.exists (fun s -> s <= 0) t.tile_sizes then
+    Error "tile sizes must be positive"
+  else if List.exists (fun d -> d < 0 || d >= rank) t.parallel_dims then
+    Error "parallel dimension out of range"
+  else if List.length (List.sort_uniq compare t.parallel_dims) <> List.length t.parallel_dims
+  then Error "duplicate parallel dimension"
+  else if
+    List.exists (fun l -> l < 0 || l >= Array.length dev.Device.layers) t.used_layers
+  then Error "device layer out of range"
+  else begin
+    let bad_reduction =
+      List.find_opt
+        (fun d -> not (Combine.parallelisable md.combine_ops.(d)))
+        t.parallel_dims
+    in
+    match bad_reduction with
+    | Some d ->
+      Error
+        (Printf.sprintf
+           "dimension %d is combined with %s, whose customising function is not \
+            associative: it cannot be parallelised"
+           d
+           (Combine.name md.combine_ops.(d)))
+    | None -> Ok ()
+  end
+
+let clamp (md : Md_hom.t) t =
+  { t with tile_sizes = Array.mapi (fun d s -> min s md.sizes.(d)) t.tile_sizes }
+
+let parallel_iterations (md : Md_hom.t) t =
+  List.fold_left (fun acc d -> acc * md.sizes.(d)) 1 t.parallel_dims
+
+let innermost_parallel_dim t =
+  List.fold_left (fun acc d -> match acc with Some m when m > d -> acc | _ -> Some d)
+    None t.parallel_dims
+
+let pp ppf t =
+  Format.fprintf ppf "tiles=%s parallel=[%s] layers=[%s]"
+    (Mdh_support.Util.string_of_dims t.tile_sizes)
+    (String.concat "," (List.map string_of_int t.parallel_dims))
+    (String.concat "," (List.map string_of_int t.used_layers))
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  let parse_ints ~sep str =
+    if String.trim str = "" then Ok []
+    else
+      String.split_on_char sep str
+      |> List.map (fun part ->
+             match int_of_string_opt (String.trim part) with
+             | Some n -> Ok n
+             | None -> Error (Printf.sprintf "not an integer: %S" part))
+      |> Mdh_support.Util.list_result_all
+  in
+  let field str ~key =
+    (* the rendering is space-separated key=value fields *)
+    let prefix = key ^ "=" in
+    let parts = String.split_on_char ' ' str in
+    match
+      List.find_opt
+        (fun p ->
+          String.length p >= String.length prefix
+          && String.sub p 0 (String.length prefix) = prefix)
+        parts
+    with
+    | Some p ->
+      Ok (String.sub p (String.length prefix) (String.length p - String.length prefix))
+    | None -> Error (Printf.sprintf "missing field %S" key)
+  in
+  let strip_brackets v =
+    if String.length v >= 2 && v.[0] = '[' && v.[String.length v - 1] = ']' then
+      String.sub v 1 (String.length v - 2)
+    else v
+  in
+  let ( let* ) = Result.bind in
+  let* tiles_s = field s ~key:"tiles" in
+  let* parallel_s = field s ~key:"parallel" in
+  let* layers_s = field s ~key:"layers" in
+  let* tiles = parse_ints ~sep:'x' tiles_s in
+  let* parallel_dims = parse_ints ~sep:',' (strip_brackets parallel_s) in
+  let* used_layers = parse_ints ~sep:',' (strip_brackets layers_s) in
+  Ok { tile_sizes = Array.of_list tiles; parallel_dims; used_layers }

@@ -1,0 +1,51 @@
+(** Execution schedules for MDH computations.
+
+    The MDH lowering (Rasch, TOPLAS 2024 — footnote 5 of the paper) maps a
+    high-level [md_hom] onto a device by de/re-composing the iteration space:
+    tiling for the memory hierarchy, distributing dimensions over the
+    device's parallel layers, and inserting partial-result combination steps
+    for parallelised reduction dimensions. A {!t} records those decisions:
+
+    - [tile_sizes]: cache-blocking tile extent per dimension;
+    - [parallel_dims]: the dimensions whose tiles execute concurrently,
+      distributed over [used_layers] of the device;
+    - [used_layers]: which device layers the schedule harnesses.
+
+    Legality: a reduction dimension may appear in [parallel_dims] only when
+    its combine operator is parallelisable (associative customising
+    function) — this is exactly the information the MDH directive carries
+    and generic directives lack. *)
+
+type t = {
+  tile_sizes : int array;
+  parallel_dims : int list;
+  used_layers : int list;
+}
+
+val sequential : Mdh_core.Md_hom.t -> t
+(** No tiling (whole extents), no parallel dims. *)
+
+val legal :
+  Mdh_core.Md_hom.t -> Mdh_machine.Device.t -> t -> (unit, string) result
+(** Checks arity, tile positivity, layer indices, and reduction-dimension
+    parallelisability. *)
+
+val clamp : Mdh_core.Md_hom.t -> t -> t
+(** Clamp tile sizes to the iteration extents. *)
+
+val parallel_iterations : Mdh_core.Md_hom.t -> t -> int
+(** Product of the extents of the parallel dimensions. *)
+
+val innermost_parallel_dim : t -> int option
+(** Highest-index parallel dimension — the one a vectorising backend would
+    map to lanes. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Compact textual form, identical to {!pp}'s rendering, parseable by
+    {!of_string} — used to persist tuned schedules (the artifact practice
+    of caching auto-tuning results). *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)

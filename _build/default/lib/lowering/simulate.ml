@@ -1,0 +1,16 @@
+module Semantics = Mdh_core.Semantics
+module Roofline = Mdh_machine.Roofline
+
+type run = {
+  env : Mdh_tensor.Buffer.env;
+  estimated_s : float;
+  analysis : Cost.analysis;
+}
+
+let run ?include_transfers md dev cg sched env =
+  match Cost.analyse ?include_transfers md dev cg sched with
+  | Error _ as e -> e
+  | Ok analysis ->
+    let sched = Schedule.clamp md sched in
+    let env = Semantics.eval_tiled md env ~tile_sizes:sched.Schedule.tile_sizes in
+    Ok { env; estimated_s = analysis.breakdown.Roofline.total_s; analysis }

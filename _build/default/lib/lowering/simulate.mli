@@ -1,0 +1,23 @@
+(** Functional execution of a scheduled computation.
+
+    Executes the computation tile-by-tile exactly as the schedule prescribes
+    (via the decomposition-law evaluator), so any legal schedule — whatever
+    its tile sizes or parallel dimensions — provably computes the reference
+    result. Returns both the result environment and the cost model's time
+    estimate, the simulated counterpart of a timed run on the real device. *)
+
+type run = {
+  env : Mdh_tensor.Buffer.env;  (** inputs extended with computed outputs *)
+  estimated_s : float;  (** cost-model wall-clock estimate *)
+  analysis : Cost.analysis;
+}
+
+val run :
+  ?include_transfers:bool ->
+  Mdh_core.Md_hom.t ->
+  Mdh_machine.Device.t ->
+  Cost.codegen ->
+  Schedule.t ->
+  Mdh_tensor.Buffer.env ->
+  (run, string) result
+(** Fails iff the schedule is illegal. *)

@@ -1,0 +1,1 @@
+lib/machine/roofline.ml: Array Device Float Format Printf String

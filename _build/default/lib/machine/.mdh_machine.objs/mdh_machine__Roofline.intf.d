@@ -1,0 +1,1 @@
+lib/machine/roofline.mli: Device Format

@@ -1,0 +1,94 @@
+type kind = Gpu | Cpu
+
+type layer = {
+  layer_name : string;
+  max_units : int;
+}
+
+type mem_level = {
+  level_name : string;
+  capacity_bytes : int;
+  bandwidth_gbs : float;
+}
+
+type t = {
+  device_name : string;
+  kind : kind;
+  layers : layer array;
+  peak_gflops : float;
+  mem : mem_level array;
+  link_gbs : float option;
+  launch_overhead_s : float;
+  saturation_units : int;
+  min_bw_fraction : float;
+  compute_saturation_units : int;
+}
+
+let a100_like =
+  { device_name = "a100_like";
+    kind = Gpu;
+    layers =
+      [| { layer_name = "blocks"; max_units = 108 * 2 };
+         (* 2 resident blocks per SM as a throughput proxy *)
+         { layer_name = "threads"; max_units = 1024 } |];
+    peak_gflops = 19500.0;
+    mem =
+      [| { level_name = "HBM"; capacity_bytes = 40 * 1024 * 1024 * 1024; bandwidth_gbs = 1555.0 };
+         { level_name = "L2"; capacity_bytes = 40 * 1024 * 1024; bandwidth_gbs = 4500.0 };
+         { level_name = "L1"; capacity_bytes = 192 * 1024; bandwidth_gbs = 19400.0 } |];
+    link_gbs = Some 16.0;
+    launch_overhead_s = 5e-6;
+    saturation_units = 22000;
+    min_bw_fraction = 0.005 (* a single warp stream *);
+    compute_saturation_units = 108 * 512 (* ~25% occupancy saturates ILP *) }
+
+let xeon6140_like =
+  { device_name = "xeon6140_like";
+    kind = Cpu;
+    layers =
+      [| { layer_name = "cores"; max_units = 18 };
+         { layer_name = "simd"; max_units = 16 } |];
+    peak_gflops = 2649.0;
+    (* 18 cores * 2.3 GHz AVX-512 base * 2 FMA * 16 lanes * 2 ops *)
+    mem =
+      [| { level_name = "DRAM"; capacity_bytes = 256 * 1024 * 1024 * 1024; bandwidth_gbs = 119.0 };
+         { level_name = "L2+L3"; capacity_bytes = 24 * 1024 * 1024; bandwidth_gbs = 900.0 };
+         { level_name = "L1"; capacity_bytes = 32 * 1024; bandwidth_gbs = 4000.0 } |];
+    link_gbs = None;
+    launch_overhead_s = 2e-6;
+    saturation_units = 8 (* ~8 concurrent streams fill the socket *);
+    min_bw_fraction = 0.125 (* one core's streaming share *);
+    compute_saturation_units = 18 * 16 (* every lane must be busy *) }
+
+let total_parallelism t = Array.fold_left (fun acc l -> acc * l.max_units) 1 t.layers
+
+let top_level t =
+  if Array.length t.mem = 0 then invalid_arg "Device.top_level: no memory levels";
+  t.mem.(0)
+
+let innermost_cache t =
+  if Array.length t.mem = 0 then invalid_arg "Device.innermost_cache: no memory levels";
+  t.mem.(Array.length t.mem - 1)
+
+let find_layer t name =
+  match Array.find_index (fun l -> String.equal l.layer_name name) t.layers with
+  | Some i -> i
+  | None -> raise Not_found
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s (%s):@," t.device_name
+    (match t.kind with Gpu -> "GPU" | Cpu -> "CPU");
+  Format.fprintf ppf "  peak %.0f GFLOP/s, parallelism %d@," t.peak_gflops
+    (total_parallelism t);
+  Array.iter
+    (fun l -> Format.fprintf ppf "  layer %s: %d units@," l.layer_name l.max_units)
+    t.layers;
+  Array.iter
+    (fun m ->
+      Format.fprintf ppf "  mem %s: %d bytes, %.0f GB/s@," m.level_name m.capacity_bytes
+        m.bandwidth_gbs)
+    t.mem;
+  (match t.link_gbs with
+  | Some b -> Format.fprintf ppf "  host link: %.0f GB/s@," b
+  | None -> ());
+  Format.fprintf ppf "@]"

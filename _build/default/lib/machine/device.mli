@@ -1,0 +1,69 @@
+(** Abstract parallel machine descriptions.
+
+    The paper evaluates on an NVIDIA A100-PCIE-40GB and an Intel Xeon Gold
+    6140 (Section 5.1). Neither is available in this reproduction, so both
+    are modelled as parametric abstract machines: a hierarchy of parallel
+    layers (how many units can work concurrently at each nesting level) and
+    a memory hierarchy (capacity and bandwidth per level), with published
+    datasheet numbers. The analytic cost model ({!Roofline}, and
+    [Mdh_lowering.Cost]) charges work and traffic against these parameters;
+    Figure 4's *relative* results derive from capability differences between
+    schedules, not from absolute calibration. *)
+
+type kind = Gpu | Cpu
+
+type layer = {
+  layer_name : string;  (** e.g. "blocks", "threads", "cores", "simd" *)
+  max_units : int;  (** concurrent units at this layer *)
+}
+
+type mem_level = {
+  level_name : string;  (** e.g. "DRAM", "L2", "L1" *)
+  capacity_bytes : int;  (** capacity of one instance of this level *)
+  bandwidth_gbs : float;  (** aggregate bandwidth to the level above *)
+}
+
+type t = {
+  device_name : string;
+  kind : kind;
+  layers : layer array;  (** outermost parallel layer first *)
+  peak_gflops : float;  (** fp32 peak, fused-multiply-add counted as 2 ops *)
+  mem : mem_level array;  (** outermost (DRAM) first; at least one level *)
+  link_gbs : float option;  (** host link (PCIe) bandwidth, GPUs only *)
+  launch_overhead_s : float;  (** kernel-launch / parallel-region entry cost *)
+  saturation_units : int;
+      (** concurrent work items needed to saturate DRAM bandwidth; schedules
+          exposing less parallelism than this see proportionally reduced
+          effective bandwidth (memory-level parallelism) *)
+  min_bw_fraction : float;
+      (** bandwidth fraction available to even a single work item (one core /
+          one warp keeps its own stream going) *)
+  compute_saturation_units : int;
+      (** concurrent units needed to saturate the compute pipelines: GPUs
+          reach near-peak ILP well below full occupancy, CPUs need every
+          lane busy *)
+}
+
+val a100_like : t
+(** NVIDIA A100-PCIE-40GB datasheet model: 108 SMs x 2048 resident threads,
+    19.5 TFLOP/s fp32, 1555 GB/s HBM2e, 40 MB L2, 192 KB L1/shared per SM,
+    PCIe gen4 x16. *)
+
+val xeon6140_like : t
+(** Intel Xeon Gold 6140 datasheet model: 18 cores x AVX-512 (16 fp32 lanes,
+    2 FMA units), ~2.6 TFLOP/s fp32 at AVX-512 base clock, ~120 GB/s DRAM,
+    24.75 MB L3(+L2), 32 KB L1 per core. *)
+
+val total_parallelism : t -> int
+(** Product of [max_units] over all layers. *)
+
+val top_level : t -> mem_level
+(** The DRAM level. *)
+
+val innermost_cache : t -> mem_level
+(** The innermost (fastest, smallest) cache level. *)
+
+val find_layer : t -> string -> int
+(** Index of a layer by name; raises [Not_found]. *)
+
+val pp : Format.formatter -> t -> unit

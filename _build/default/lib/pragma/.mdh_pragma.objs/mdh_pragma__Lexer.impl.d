@@ -1,0 +1,1 @@
+lib/pragma/lexer.ml: Format List Printf Stdlib String Token

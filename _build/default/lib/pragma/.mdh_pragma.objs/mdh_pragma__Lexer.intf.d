@@ -1,0 +1,1 @@
+lib/pragma/lexer.mli: Format Token

@@ -1,0 +1,1 @@
+lib/pragma/parser.ml: Array Format Lexer List Mdh_combine Mdh_directive Mdh_expr Mdh_tensor Option String Token

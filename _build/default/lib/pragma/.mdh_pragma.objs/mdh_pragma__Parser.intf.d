@@ -1,0 +1,1 @@
+lib/pragma/parser.mli: Format Mdh_directive Token

@@ -1,0 +1,1 @@
+lib/pragma/token.ml: Format Printf

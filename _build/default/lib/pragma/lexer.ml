@@ -1,0 +1,197 @@
+type error = { pos : Token.pos; message : string }
+
+let pp_error ppf { pos; message } =
+  Format.fprintf ppf "lexical error at %a: %s" Token.pp_pos pos message
+
+type state = {
+  src : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos st = { Token.line = st.line; col = st.col }
+
+let peek st = if st.offset < String.length st.src then Some st.src.[st.offset] else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.src then Some st.src.[st.offset + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let lex_while st p =
+  let start = st.offset in
+  while (match peek st with Some c -> p c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.offset - start)
+
+exception Error of error
+
+let fail st fmt =
+  Format.kasprintf (fun message -> raise (Error { pos = pos st; message })) fmt
+
+(* after '#': expect "pragma" ws "mdh" *)
+let lex_pragma st =
+  advance st (* '#' *);
+  let word1 = lex_while st is_ident in
+  if word1 <> "pragma" then fail st "expected 'pragma' after '#', got %S" word1;
+  while peek st = Some ' ' || peek st = Some '\t' do
+    advance st
+  done;
+  let word2 = lex_while st is_ident in
+  if word2 <> "mdh" then fail st "expected 'mdh' after '#pragma', got %S" word2;
+  Token.Pragma_mdh
+
+let lex_number st =
+  let start_pos = pos st in
+  let integral = lex_while st is_digit in
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | Some '.', (Some _ | None) -> false
+    | (Some ('e' | 'E') | Some _ | None), _ -> (
+      match peek st with Some ('e' | 'E') -> true | _ -> false)
+  in
+  if is_float then begin
+    let buf = Stdlib.Buffer.create 16 in
+    Stdlib.Buffer.add_string buf integral;
+    if peek st = Some '.' then begin
+      Stdlib.Buffer.add_char buf '.';
+      advance st;
+      Stdlib.Buffer.add_string buf (lex_while st is_digit)
+    end;
+    (match peek st with
+    | Some ('e' | 'E') ->
+      Stdlib.Buffer.add_char buf 'e';
+      advance st;
+      (match peek st with
+      | Some (('+' | '-') as sign) ->
+        Stdlib.Buffer.add_char buf sign;
+        advance st
+      | _ -> ());
+      Stdlib.Buffer.add_string buf (lex_while st is_digit)
+    | _ -> ());
+    match float_of_string_opt (Stdlib.Buffer.contents buf) with
+    | Some x -> Token.Float_lit x
+    | None ->
+      raise
+        (Error { pos = start_pos;
+                 message = Printf.sprintf "malformed float literal %S" (Stdlib.Buffer.contents buf) })
+  end
+  else
+    match int_of_string_opt integral with
+    | Some n -> Token.Int_lit n
+    | None ->
+      raise
+        (Error
+           { pos = start_pos;
+             message = Printf.sprintf "malformed integer literal %S" integral })
+
+let keyword = function
+  | "for" -> Some Token.Kw_for
+  | "let" -> Some Token.Kw_let
+  | "if" -> Some Token.Kw_if
+  | "else" -> Some Token.Kw_else
+  | "true" -> Some Token.Kw_true
+  | "false" -> Some Token.Kw_false
+  | _ -> None
+
+let next_token st =
+  let p = pos st in
+  let single tok = advance st; tok in
+  let double tok = advance st; advance st; tok in
+  let token =
+    match peek st with
+    | None -> Token.Eof
+    | Some '#' -> lex_pragma st
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_ident_start c -> (
+      let word = lex_while st is_ident in
+      match keyword word with Some kw -> kw | None -> Token.Ident word)
+    | Some '(' -> single Token.Lparen
+    | Some ')' -> single Token.Rparen
+    | Some '[' -> single Token.Lbracket
+    | Some ']' -> single Token.Rbracket
+    | Some '{' -> single Token.Lbrace
+    | Some '}' -> single Token.Rbrace
+    | Some ',' -> single Token.Comma
+    | Some ';' -> single Token.Semicolon
+    | Some ':' -> single Token.Colon
+    | Some '.' -> single Token.Dot
+    | Some '?' -> single Token.Question
+    | Some '+' -> if peek2 st = Some '+' then double Token.Plus_plus else single Token.Plus
+    | Some '-' -> single Token.Minus
+    | Some '*' -> single Token.Star
+    | Some '/' -> single Token.Slash
+    | Some '<' -> if peek2 st = Some '=' then double Token.Le else single Token.Lt
+    | Some '>' -> if peek2 st = Some '=' then double Token.Ge else single Token.Gt
+    | Some '=' -> if peek2 st = Some '=' then double Token.Eq_eq else single Token.Assign
+    | Some '!' ->
+      if peek2 st = Some '=' then double Token.Bang_eq else single Token.Bang
+    | Some '&' ->
+      if peek2 st = Some '&' then double Token.Amp_amp
+      else fail st "unexpected '&' (did you mean '&&'?)"
+    | Some '|' ->
+      if peek2 st = Some '|' then double Token.Pipe_pipe
+      else fail st "unexpected '|' (did you mean '||'?)"
+    | Some c -> fail st "unexpected character %C" c
+  in
+  { Token.token; pos = p }
+
+let rec skip_trivia st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+    advance st;
+    skip_trivia st
+  | Some '\\', Some '\n' ->
+    (* pragma line continuation *)
+    advance st;
+    advance st;
+    skip_trivia st
+  | Some '/', Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_trivia st
+  | Some '/', Some '*' ->
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek st, peek2 st) with
+      | None, _ -> fail st "unterminated block comment"
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia st
+  | _ -> ()
+
+let tokenize src =
+  let st = { src; offset = 0; line = 1; col = 1 } in
+  try
+    let acc = ref [] in
+    let continue = ref true in
+    while !continue do
+      skip_trivia st;
+      let tok = next_token st in
+      acc := tok :: !acc;
+      if tok.Token.token = Token.Eof then continue := false
+    done;
+    Ok (List.rev !acc)
+  with Error e -> Error e

@@ -1,0 +1,10 @@
+(** Hand-written lexer for the [#pragma mdh] surface language. Handles
+    [//] line comments, [/* */] block comments and line continuations in
+    pragma lines. *)
+
+type error = { pos : Token.pos; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val tokenize : string -> (Token.spanned list, error) result
+(** The token list always ends with [Eof]. *)

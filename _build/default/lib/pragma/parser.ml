@@ -1,0 +1,481 @@
+module Scalar = Mdh_tensor.Scalar
+module Combine = Mdh_combine.Combine
+module Expr = Mdh_expr.Expr
+module D = Mdh_directive.Directive
+
+type error = { pos : Token.pos; message : string }
+
+let pp_error ppf { pos; message } =
+  Format.fprintf ppf "parse error at %a: %s" Token.pp_pos pos message
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Fail of error
+
+type state = {
+  mutable tokens : Token.spanned list;
+  params : (string * int) list;
+  mutable buffers : D.buffer_decl list;  (** outs @ inps once the pragma is read *)
+  mutable float_ty : Scalar.ty;  (** type given to float literals *)
+}
+
+let fail_at pos fmt =
+  Format.kasprintf (fun message -> raise (Fail { pos; message })) fmt
+
+let here st =
+  match st.tokens with
+  | { Token.pos; _ } :: _ -> pos
+  | [] -> { Token.line = 0; col = 0 }
+
+let peek st =
+  match st.tokens with { Token.token; _ } :: _ -> token | [] -> Token.Eof
+
+let peek2 st =
+  match st.tokens with _ :: { Token.token; _ } :: _ -> token | _ -> Token.Eof
+
+let advance st =
+  match st.tokens with _ :: rest -> st.tokens <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail_at (here st) "expected %s but found %s" (Token.describe tok)
+      (Token.describe (peek st))
+
+let expect_ident st what =
+  match peek st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | other -> fail_at (here st) "expected %s but found %s" what (Token.describe other)
+
+(* --- pragma clauses --- *)
+
+let scalar_ty_of_name pos = function
+  | "fp32" -> Scalar.Fp32
+  | "fp64" -> Scalar.Fp64
+  | "int32" -> Scalar.Int32
+  | "int64" -> Scalar.Int64
+  | "bool" -> Scalar.Bool
+  | "char" -> Scalar.Char
+  | other -> fail_at pos "unknown basic type %S" other
+
+let parse_buffer_decl st =
+  let name = expect_ident st "a buffer name" in
+  expect st Token.Colon;
+  let ty_pos = here st in
+  let ty = scalar_ty_of_name ty_pos (expect_ident st "a basic type") in
+  let shape =
+    if peek st = Token.Lbracket then begin
+      advance st;
+      let dims = ref [] in
+      let rec loop () =
+        (match peek st with
+        | Token.Int_lit n ->
+          advance st;
+          dims := n :: !dims
+        | other -> fail_at (here st) "expected an extent, found %s" (Token.describe other));
+        if peek st = Token.Comma then begin
+          advance st;
+          loop ()
+        end
+      in
+      loop ();
+      expect st Token.Rbracket;
+      Some (Array.of_list (List.rev !dims))
+    end
+    else None
+  in
+  D.buffer ?shape name ty
+
+let parse_decl_list st =
+  expect st Token.Lparen;
+  let decls = ref [] in
+  if peek st <> Token.Rparen then begin
+    let rec loop () =
+      decls := parse_buffer_decl st :: !decls;
+      if peek st = Token.Comma then begin
+        advance st;
+        loop ()
+      end
+    in
+    loop ()
+  end;
+  expect st Token.Rparen;
+  List.rev !decls
+
+let builtin_custom_fn pos ty = function
+  | "add" -> Combine.add ty
+  | "mul" -> Combine.mul ty
+  | "max" -> Combine.max ty
+  | "min" -> Combine.min ty
+  | other ->
+    fail_at pos
+      "unknown customising function %S (the pragma frontend provides add, mul, min, \
+       max; user-defined operators need the embedded API)"
+      other
+
+let parse_combine_op st ~elem_ty =
+  let pos = here st in
+  match expect_ident st "a combine operator" with
+  | "cc" -> Combine.cc
+  | ("pw" | "ps") as kind ->
+    expect st Token.Lparen;
+    let fn_pos = here st in
+    let fn = builtin_custom_fn fn_pos elem_ty (expect_ident st "a customising function") in
+    expect st Token.Rparen;
+    if kind = "pw" then Combine.pw fn else Combine.ps fn
+  | other -> fail_at pos "unknown combine operator %S (cc, pw(f), ps(f))" other
+
+let base_scalar_ty decls =
+  (* float literals are fp32 when every declared buffer is fp32 *)
+  if
+    decls <> []
+    && List.for_all
+         (fun (d : D.buffer_decl) -> Scalar.equal_ty d.D.buf_ty Scalar.Fp32)
+         decls
+  then Scalar.Fp32
+  else Scalar.Fp64
+
+let parse_pragma st =
+  expect st Token.Pragma_mdh;
+  let outs = ref None and inps = ref None and ops = ref None in
+  let rec clauses () =
+    match peek st with
+    | Token.Ident "out" ->
+      advance st;
+      if !outs <> None then fail_at (here st) "duplicate out(...) clause";
+      outs := Some (parse_decl_list st);
+      clauses ()
+    | Token.Ident "inp" ->
+      advance st;
+      if !inps <> None then fail_at (here st) "duplicate inp(...) clause";
+      inps := Some (parse_decl_list st);
+      clauses ()
+    | Token.Ident "combine_ops" ->
+      advance st;
+      if !ops <> None then fail_at (here st) "duplicate combine_ops(...) clause";
+      let elem_ty =
+        match !outs with
+        | Some ({ D.buf_ty; _ } :: _) -> buf_ty
+        | _ -> Scalar.Fp32
+      in
+      expect st Token.Lparen;
+      let acc = ref [] in
+      let rec loop () =
+        acc := parse_combine_op st ~elem_ty :: !acc;
+        if peek st = Token.Comma then begin
+          advance st;
+          loop ()
+        end
+      in
+      loop ();
+      expect st Token.Rparen;
+      ops := Some (List.rev !acc);
+      clauses ()
+    | _ -> ()
+  in
+  clauses ();
+  let outs =
+    match !outs with
+    | Some o -> o
+    | None -> fail_at (here st) "the pragma needs an out(...) clause"
+  in
+  let inps = Option.value ~default:[] !inps in
+  let ops =
+    match !ops with
+    | Some o -> o
+    | None -> fail_at (here st) "the pragma needs a combine_ops(...) clause"
+  in
+  st.buffers <- outs @ inps;
+  st.float_ty <- base_scalar_ty (outs @ inps);
+  (outs, inps, ops)
+
+(* --- expressions --- *)
+
+let is_buffer st name =
+  List.exists (fun (d : D.buffer_decl) -> String.equal d.D.buf_name name) st.buffers
+
+let resolve_ident st ~loop_vars ~lets pos name =
+  if List.mem name loop_vars then Expr.Idx name
+  else if List.mem name lets then Expr.Var name
+  else
+    match List.assoc_opt name st.params with
+    | Some v -> Expr.int v
+    | None ->
+      fail_at pos
+        "unknown identifier %S (not a loop variable, let binding or parameter)" name
+
+let is_type_name = function
+  | "fp32" | "fp64" | "int32" | "int64" -> true
+  | _ -> false
+
+let rec parse_expr st ~loop_vars ~lets = parse_ternary st ~loop_vars ~lets
+
+and parse_ternary st ~loop_vars ~lets =
+  let cond = parse_or st ~loop_vars ~lets in
+  if peek st = Token.Question then begin
+    advance st;
+    let then_e = parse_expr st ~loop_vars ~lets in
+    expect st Token.Colon;
+    let else_e = parse_expr st ~loop_vars ~lets in
+    Expr.If (cond, then_e, else_e)
+  end
+  else cond
+
+and parse_or st ~loop_vars ~lets =
+  let lhs = ref (parse_and st ~loop_vars ~lets) in
+  while peek st = Token.Pipe_pipe do
+    advance st;
+    lhs := Expr.Binop (Expr.Or, !lhs, parse_and st ~loop_vars ~lets)
+  done;
+  !lhs
+
+and parse_and st ~loop_vars ~lets =
+  let lhs = ref (parse_cmp st ~loop_vars ~lets) in
+  while peek st = Token.Amp_amp do
+    advance st;
+    lhs := Expr.Binop (Expr.And, !lhs, parse_cmp st ~loop_vars ~lets)
+  done;
+  !lhs
+
+and parse_cmp st ~loop_vars ~lets =
+  let lhs = parse_add st ~loop_vars ~lets in
+  let op =
+    match peek st with
+    | Token.Lt -> Some Expr.Lt
+    | Token.Le -> Some Expr.Le
+    | Token.Gt -> Some Expr.Gt
+    | Token.Ge -> Some Expr.Ge
+    | Token.Eq_eq -> Some Expr.Eq
+    | Token.Bang_eq -> Some Expr.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Expr.Binop (op, lhs, parse_add st ~loop_vars ~lets)
+
+and parse_add st ~loop_vars ~lets =
+  let lhs = ref (parse_mul st ~loop_vars ~lets) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Plus ->
+      advance st;
+      lhs := Expr.Binop (Expr.Add, !lhs, parse_mul st ~loop_vars ~lets)
+    | Token.Minus ->
+      advance st;
+      lhs := Expr.Binop (Expr.Sub, !lhs, parse_mul st ~loop_vars ~lets)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul st ~loop_vars ~lets =
+  let lhs = ref (parse_unary st ~loop_vars ~lets) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Star ->
+      advance st;
+      lhs := Expr.Binop (Expr.Mul, !lhs, parse_unary st ~loop_vars ~lets)
+    | Token.Slash ->
+      advance st;
+      lhs := Expr.Binop (Expr.Div, !lhs, parse_unary st ~loop_vars ~lets)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st ~loop_vars ~lets =
+  match peek st with
+  | Token.Minus ->
+    advance st;
+    Expr.Unop (Expr.Neg, parse_unary st ~loop_vars ~lets)
+  | Token.Bang ->
+    advance st;
+    Expr.Unop (Expr.Not, parse_unary st ~loop_vars ~lets)
+  | _ -> parse_postfix st ~loop_vars ~lets
+
+and parse_postfix st ~loop_vars ~lets =
+  let e = ref (parse_primary st ~loop_vars ~lets) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Dot ->
+      advance st;
+      let field = expect_ident st "a record field name" in
+      e := Expr.Field (!e, field)
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_index_list st ~loop_vars ~lets =
+  expect st Token.Lbracket;
+  let idxs = ref [] in
+  let rec loop () =
+    idxs := parse_expr st ~loop_vars ~lets :: !idxs;
+    if peek st = Token.Comma then begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ();
+  expect st Token.Rbracket;
+  List.rev !idxs
+
+and parse_primary st ~loop_vars ~lets =
+  let pos = here st in
+  match peek st with
+  | Token.Int_lit n ->
+    advance st;
+    Expr.int n
+  | Token.Float_lit x ->
+    advance st;
+    if Scalar.equal_ty st.float_ty Scalar.Fp32 then Expr.f32 x else Expr.f64 x
+  | Token.Kw_true ->
+    advance st;
+    Expr.Const (Scalar.B true)
+  | Token.Kw_false ->
+    advance st;
+    Expr.Const (Scalar.B false)
+  | Token.Ident (("min" | "max") as fn) when peek2 st = Token.Lparen ->
+    advance st;
+    advance st;
+    let a = parse_expr st ~loop_vars ~lets in
+    expect st Token.Comma;
+    let b = parse_expr st ~loop_vars ~lets in
+    expect st Token.Rparen;
+    Expr.Binop ((if fn = "min" then Expr.Min else Expr.Max), a, b)
+  | Token.Ident name ->
+    advance st;
+    if peek st = Token.Lbracket then begin
+      if not (is_buffer st name) then
+        fail_at pos "%S is indexed like a buffer but is not declared" name;
+      Expr.Read (name, parse_index_list st ~loop_vars ~lets)
+    end
+    else resolve_ident st ~loop_vars ~lets pos name
+  | Token.Lparen -> (
+    match (peek2 st, st.tokens) with
+    | Token.Ident ty_name, _ :: _ :: { Token.token = Token.Rparen; _ } :: _
+      when is_type_name ty_name ->
+      (* C-style cast: (fp32) expr *)
+      advance st;
+      advance st;
+      advance st;
+      let ty = scalar_ty_of_name pos ty_name in
+      Expr.Cast (ty, parse_unary st ~loop_vars ~lets)
+    | _ ->
+      advance st;
+      let e = parse_expr st ~loop_vars ~lets in
+      expect st Token.Rparen;
+      e)
+  | other -> fail_at pos "expected an expression, found %s" (Token.describe other)
+
+(* --- statements and loop nests --- *)
+
+let parse_loop_bound st =
+  let pos = here st in
+  match peek st with
+  | Token.Int_lit n ->
+    advance st;
+    n
+  | Token.Ident name -> (
+    advance st;
+    match List.assoc_opt name st.params with
+    | Some v -> v
+    | None -> fail_at pos "loop bound %S is not a known parameter" name)
+  | other -> fail_at pos "expected a loop bound, found %s" (Token.describe other)
+
+let parse_stmt st ~loop_vars ~lets =
+  match peek st with
+  | Token.Kw_let ->
+    advance st;
+    let name = expect_ident st "a binding name" in
+    expect st Token.Assign;
+    let e = parse_expr st ~loop_vars ~lets in
+    expect st Token.Semicolon;
+    (D.let_stmt name e, name :: lets)
+  | _ ->
+    let pos = here st in
+    let target = expect_ident st "an output buffer name" in
+    if peek st <> Token.Lbracket then
+      fail_at pos "expected %S to be assigned through indices" target;
+    let indices = parse_index_list st ~loop_vars ~lets in
+    expect st Token.Assign;
+    let value = parse_expr st ~loop_vars ~lets in
+    expect st Token.Semicolon;
+    (D.assign target indices value, lets)
+
+let rec parse_nest st ~loop_vars =
+  match peek st with
+  | Token.Kw_for ->
+    advance st;
+    expect st Token.Lparen;
+    let var = expect_ident st "a loop variable" in
+    expect st Token.Assign;
+    (match peek st with
+    | Token.Int_lit 0 -> advance st
+    | other ->
+      fail_at (here st) "loops must start at 0, found %s" (Token.describe other));
+    expect st Token.Semicolon;
+    let var2 = expect_ident st "the loop variable" in
+    if var2 <> var then
+      fail_at (here st) "loop condition tests %S, expected %S" var2 var;
+    expect st Token.Lt;
+    let extent = parse_loop_bound st in
+    expect st Token.Semicolon;
+    let var3 = expect_ident st "the loop variable" in
+    if var3 <> var then
+      fail_at (here st) "loop increment updates %S, expected %S" var3 var;
+    expect st Token.Plus_plus;
+    expect st Token.Rparen;
+    let body = parse_body st ~loop_vars:(loop_vars @ [ var ]) in
+    D.for_ var extent body
+  | other -> fail_at (here st) "expected 'for', found %s" (Token.describe other)
+
+and parse_body st ~loop_vars =
+  match peek st with
+  | Token.Kw_for -> parse_nest st ~loop_vars
+  | Token.Lbrace ->
+    advance st;
+    let items = ref [] in
+    let lets = ref [] in
+    while peek st <> Token.Rbrace do
+      match peek st with
+      | Token.Kw_for -> items := `Nest (parse_nest st ~loop_vars) :: !items
+      | _ ->
+        let stmt, lets' = parse_stmt st ~loop_vars ~lets:!lets in
+        lets := lets';
+        items := `Stmt stmt :: !items
+    done;
+    expect st Token.Rbrace;
+    let items = List.rev !items in
+    let all_stmts =
+      List.for_all (function `Stmt _ -> true | `Nest _ -> false) items
+    in
+    if all_stmts then
+      D.body (List.map (function `Stmt s -> s | `Nest _ -> assert false) items)
+    else if List.length items = 1 then
+      (match items with [ `Nest n ] -> n | _ -> assert false)
+    else
+      (* statements mixed with loops, or several loops: representable as a
+         Seq, rejected by validation as an imperfect nest *)
+      D.Seq
+        (List.map
+           (function `Nest n -> n | `Stmt s -> D.body [ s ])
+           items)
+  | _ ->
+    let stmt, _ = parse_stmt st ~loop_vars ~lets:[] in
+    D.body [ stmt ]
+
+let parse ?(name = "pragma_mdh") ?(params = []) src =
+  match Lexer.tokenize src with
+  | Error { Lexer.pos; message } -> Error { pos; message }
+  | Ok tokens -> (
+    let st = { tokens; params; buffers = []; float_ty = Scalar.Fp64 } in
+    try
+      let outs, inps, ops = parse_pragma st in
+      let nest = parse_nest st ~loop_vars:[] in
+      expect st Token.Eof;
+      Ok (D.make ~name ~out:outs ~inp:inps ~combine_ops:ops nest)
+    with Fail e -> Error e)

@@ -1,0 +1,41 @@
+(** Recursive-descent parser for the [#pragma mdh] surface language,
+    producing an (unvalidated) MDH directive. The grammar is the Section 8
+    vision — the paper's directive over C-style loop nests:
+
+    {v
+    #pragma mdh out(w : fp32) inp(M : fp32, v : fp32) \
+                combine_ops(cc, pw(add))
+    for (i = 0; i < 4096; i++)
+      for (k = 0; k < 4096; k++)
+        w[i] = M[i, k] * v[k];
+    v}
+
+    Supported constructs: buffer declarations with optional explicit sizes
+    ([img : fp32[1, 230, 230, 3]]); [cc], [pw(op)] and [ps(op)] combine
+    operators with the built-in customising functions [add], [mul], [min],
+    [max]; canonical [for (v = 0; v < N; v++)] loops whose bound is an
+    integer literal or a named parameter; single-point assignments and
+    [let] bindings; arithmetic, comparisons, [&&]/[||], [!], the C ternary
+    [c ? a : b], [min]/[max] calls, and C-style casts [(fp32) e].
+
+    Loop bounds may reference parameters supplied via [params]; float
+    literals take the type fp32 when every declared buffer is fp32, fp64
+    otherwise. Identifiers in expressions resolve (in order) to loop
+    variables, [let] bindings, then parameters.
+
+    Validation (perfect-nest discipline, typing, shape inference) is the
+    job of [Mdh_directive.Validate], exactly as for directives built with
+    the embedded API — imperfect nests parse (as [Seq]) and are rejected
+    there. *)
+
+type error = { pos : Token.pos; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val parse :
+  ?name:string ->
+  ?params:(string * int) list ->
+  string ->
+  (Mdh_directive.Directive.t, error) result
+(** [name] is the directive name (default ["pragma_mdh"]). *)

@@ -1,0 +1,59 @@
+type pos = { line : int; col : int }
+
+type t =
+  | Pragma_mdh
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Kw_for | Kw_let | Kw_if | Kw_else | Kw_true | Kw_false
+  | Lparen | Rparen | Lbracket | Rbracket | Lbrace | Rbrace
+  | Comma | Semicolon | Colon | Dot | Assign
+  | Plus | Minus | Star | Slash
+  | Lt | Le | Gt | Ge | Eq_eq | Bang_eq
+  | Amp_amp | Pipe_pipe | Bang
+  | Question
+  | Plus_plus
+  | Eof
+
+type spanned = { token : t; pos : pos }
+
+let describe = function
+  | Pragma_mdh -> "#pragma mdh"
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit n -> Printf.sprintf "integer %d" n
+  | Float_lit x -> Printf.sprintf "float %g" x
+  | Kw_for -> "'for'"
+  | Kw_let -> "'let'"
+  | Kw_if -> "'if'"
+  | Kw_else -> "'else'"
+  | Kw_true -> "'true'"
+  | Kw_false -> "'false'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbracket -> "'['"
+  | Rbracket -> "']'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Comma -> "','"
+  | Semicolon -> "';'"
+  | Colon -> "':'"
+  | Dot -> "'.'"
+  | Assign -> "'='"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Eq_eq -> "'=='"
+  | Bang_eq -> "'!='"
+  | Amp_amp -> "'&&'"
+  | Pipe_pipe -> "'||'"
+  | Bang -> "'!'"
+  | Question -> "'?'"
+  | Plus_plus -> "'++'"
+  | Eof -> "end of input"
+
+let pp_pos ppf { line; col } = Format.fprintf ppf "line %d, column %d" line col

@@ -1,0 +1,25 @@
+(** Tokens of the textual [#pragma mdh] surface language (the Section 8
+    future-work direction: the MDH directive as a pragma over C-style loop
+    nests). *)
+
+type pos = { line : int; col : int }
+
+type t =
+  | Pragma_mdh  (** [#pragma mdh] *)
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Kw_for | Kw_let | Kw_if | Kw_else | Kw_true | Kw_false
+  | Lparen | Rparen | Lbracket | Rbracket | Lbrace | Rbrace
+  | Comma | Semicolon | Colon | Dot | Assign
+  | Plus | Minus | Star | Slash
+  | Lt | Le | Gt | Ge | Eq_eq | Bang_eq
+  | Amp_amp | Pipe_pipe | Bang
+  | Question
+  | Plus_plus
+  | Eof
+
+type spanned = { token : t; pos : pos }
+
+val describe : t -> string
+val pp_pos : Format.formatter -> pos -> unit

@@ -1,0 +1,1 @@
+lib/reports/ablations.mli: Mdh_support

@@ -1,0 +1,1 @@
+lib/reports/failures.ml: List Mdh_baselines Mdh_machine Mdh_support Mdh_workloads Report

@@ -1,0 +1,1 @@
+lib/reports/failures.mli: Mdh_support

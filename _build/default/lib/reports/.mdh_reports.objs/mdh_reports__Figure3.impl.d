@@ -1,0 +1,1 @@
+lib/reports/figure3.ml: List Mdh_core Mdh_support Mdh_workloads Printf Report String

@@ -1,0 +1,1 @@
+lib/reports/figure3.mli: Mdh_support

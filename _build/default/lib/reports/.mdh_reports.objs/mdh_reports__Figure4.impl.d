@@ -1,0 +1,1 @@
+lib/reports/figure4.ml: List Mdh_baselines Mdh_core Mdh_machine Mdh_support Mdh_workloads Printf Report

@@ -1,0 +1,1 @@
+lib/reports/figure4.mli: Mdh_machine Mdh_support

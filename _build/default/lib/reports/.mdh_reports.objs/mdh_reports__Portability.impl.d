@@ -1,0 +1,1 @@
+lib/reports/portability.ml: Float Fun List Mdh_baselines Mdh_machine Mdh_support Mdh_workloads Printf Report

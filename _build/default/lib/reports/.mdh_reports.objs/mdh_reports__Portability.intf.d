@@ -1,0 +1,1 @@
+lib/reports/portability.mli: Mdh_support

@@ -1,0 +1,1 @@
+lib/reports/prl_study.ml: List Mdh_baselines Mdh_lowering Mdh_machine Mdh_support Mdh_workloads Report

@@ -1,0 +1,1 @@
+lib/reports/prl_study.mli: Mdh_support

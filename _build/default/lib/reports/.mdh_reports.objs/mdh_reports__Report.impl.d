@@ -1,0 +1,1 @@
+lib/reports/report.ml: List Mdh_baselines Mdh_machine Mdh_workloads Printf

@@ -1,0 +1,1 @@
+lib/reports/report.mli: Mdh_baselines Mdh_core Mdh_machine Mdh_workloads

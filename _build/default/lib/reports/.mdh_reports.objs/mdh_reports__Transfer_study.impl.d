@@ -1,0 +1,1 @@
+lib/reports/transfer_study.ml: List Mdh_baselines Mdh_core Mdh_lowering Mdh_machine Mdh_support Mdh_workloads Printf Report

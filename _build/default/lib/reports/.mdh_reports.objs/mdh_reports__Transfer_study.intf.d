@@ -1,0 +1,1 @@
+lib/reports/transfer_study.mli: Mdh_support

@@ -1,0 +1,165 @@
+(* Ablation studies for the design choices DESIGN.md calls out:
+
+   - openacc_tiling: the Section 5.2 CCSD(T) narrative — OpenACC untiled vs
+     manual tile-directive variants vs MDH (>150x and ~60x in the paper);
+   - tiling: MDH with and without cache tiling, per workload;
+   - reduction_parallel: MDH with and without reduction-dimension
+     parallelisation (the core "reduction-aware" claim);
+   - tuning_budget: tuned quality as a function of the search budget. *)
+
+module W = Mdh_workloads.Workload
+module Device = Mdh_machine.Device
+module Common = Mdh_baselines.Common
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+module Lower = Mdh_lowering.Lower
+module Table = Mdh_support.Table
+
+let gpu = Device.a100_like
+let cpu = Device.xeon6140_like
+
+let openacc_tiling_table () =
+  let md = Report.md_of Mdh_workloads.Ccsdt.ccsdt "1" in
+  let mdh = Report.mdh_seconds md gpu in
+  let table = Table.create ~headers:[ "Variant"; "time"; "slower than MDH" ] in
+  let add name seconds =
+    Table.add_row table
+      [ name; Report.time_str seconds; Report.speedup_str (seconds /. mdh) ]
+  in
+  add "MDH (auto-tuned)" mdh;
+  (match Mdh_baselines.Openacc.system.Common.compile ~tuned:false md gpu with
+  | Ok o -> add "OpenACC, no tiling" (Common.seconds o)
+  | Error f -> failwith (Common.failure_to_string f));
+  (* manual tile choices a user might try, as the paper describes: from a
+     seemingly-safe single-loop tile, through a uniform guess, to the tiles
+     found by trial and error (here: by searching tile sizes while keeping
+     OpenACC's parallelisation) *)
+  let trial_and_error =
+    match
+      Mdh_atf.Tuner.tune ~budget:400
+        ~parallel_options:[ Common.directive_parallel_dims md ]
+        md gpu Cost.plain_codegen
+    with
+    | Ok t -> t.Mdh_atf.Tuner.schedule.Schedule.tile_sizes
+    | Error e -> failwith e
+  in
+  List.iter
+    (fun (label, tiles) ->
+      match Mdh_baselines.Openacc.compile_with_tiles tiles md gpu with
+      | Ok o -> add label (Common.seconds o)
+      | Error f -> failwith (Common.failure_to_string f))
+    [ ("OpenACC, tile first loop only", [| 8; 16; 16; 24; 16; 16; 24 |]);
+      ("OpenACC, uniform 4-tiles", [| 4; 4; 4; 4; 4; 4; 4 |]);
+      ( Printf.sprintf "OpenACC, trial-and-error tiles (%s)"
+          (Mdh_support.Util.string_of_dims trial_and_error),
+        trial_and_error ) ];
+  table
+
+let openacc_tiling () =
+  Report.section
+    "Ablation: manual OpenACC tiling on CCSD(T) (Section 5.2 narrative)";
+  Table.print (openacc_tiling_table ())
+
+let tiling_table () =
+  let table =
+    Table.create ~headers:[ "Computation"; "Device"; "untiled"; "tiled(tuned)"; "gain" ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      let md = Report.md_of w "1" in
+      List.iter
+        (fun dev ->
+          let tuned =
+            match Mdh_baselines.Registry.mdh.Common.compile ~tuned:true md dev with
+            | Ok o -> o
+            | Error f -> failwith (Common.failure_to_string f)
+          in
+          let untiled_schedule =
+            { tuned.Common.schedule with
+              Schedule.tile_sizes = Array.copy md.Mdh_core.Md_hom.sizes }
+          in
+          match Cost.seconds md dev Cost.tuned_codegen untiled_schedule with
+          | Error e -> failwith e
+          | Ok untiled ->
+            let tuned_s = Common.seconds tuned in
+            Table.add_row table
+              [ w.W.wl_name; dev.Device.device_name; Report.time_str untiled;
+                Report.time_str tuned_s; Report.speedup_str (untiled /. tuned_s) ])
+        [ gpu; cpu ])
+    [ Mdh_workloads.Linalg.matmul; Mdh_workloads.Ccsdt.ccsdt;
+      Mdh_workloads.Deep_learning.mcc ];
+  table
+
+let tiling () =
+  Report.section "Ablation: MDH cache tiling on/off";
+  Table.print (tiling_table ())
+
+let reduction_parallel_table () =
+  let table =
+    Table.create
+      ~headers:[ "Computation"; "Device"; "cc dims only"; "with reductions"; "gain" ]
+  in
+  List.iter
+    (fun ((w : W.t), inp) ->
+      let md = Report.md_of w inp in
+      List.iter
+        (fun dev ->
+          let tuned_with opts =
+            match
+              Mdh_atf.Tuner.tune ?parallel_options:opts ~budget:300 md dev
+                Cost.tuned_codegen
+            with
+            | Ok t -> t.Mdh_atf.Tuner.estimated_s
+            | Error e -> failwith e
+          in
+          let cc_only = tuned_with (Some [ Mdh_core.Md_hom.cc_dims md ]) in
+          let full = tuned_with None in
+          Table.add_row table
+            [ Printf.sprintf "%s (Inp.%s)" w.W.wl_name inp; dev.Device.device_name;
+              Report.time_str cc_only; Report.time_str full;
+              Report.speedup_str (cc_only /. full) ])
+        [ gpu; cpu ])
+    [ (Mdh_workloads.Linalg.dot, "1"); (Mdh_workloads.Prl.prl, "1");
+      (Mdh_workloads.Linalg.matvec, "1") ];
+  table
+
+let reduction_parallel () =
+  Report.section "Ablation: MDH reduction-dimension parallelisation on/off";
+  Table.print (reduction_parallel_table ())
+
+let tuning_budget_table () =
+  let table =
+    Table.create
+      ~headers:[ "Computation"; "Device"; "budget"; "estimated time"; "vs budget=800" ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      let md = Report.md_of w "1" in
+      List.iter
+        (fun dev ->
+          let at budget =
+            match Mdh_atf.Tuner.tune ~budget md dev Cost.tuned_codegen with
+            | Ok t -> t.Mdh_atf.Tuner.estimated_s
+            | Error e -> failwith e
+          in
+          let best = at 800 in
+          List.iter
+            (fun budget ->
+              let s = at budget in
+              Table.add_row table
+                [ w.W.wl_name; dev.Device.device_name; string_of_int budget;
+                  Report.time_str s; Report.speedup_str (s /. best) ])
+            [ 25; 100; 400; 800 ])
+        [ gpu; cpu ])
+    [ Mdh_workloads.Linalg.matmul; Mdh_workloads.Ccsdt.ccsdt ];
+  table
+
+let tuning_budget () =
+  Report.section "Ablation: tuned quality vs search budget (evaluations)";
+  Table.print (tuning_budget_table ())
+
+let run () =
+  openacc_tiling ();
+  tiling ();
+  reduction_parallel ();
+  tuning_budget ()

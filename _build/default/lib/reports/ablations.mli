@@ -1,0 +1,21 @@
+(** Ablation studies for the design decisions DESIGN.md calls out. *)
+
+val openacc_tiling_table : unit -> Mdh_support.Table.t
+(** The Section 5.2 CCSD(T) narrative: OpenACC untiled vs manual tile
+    variants vs auto-tuned MDH. *)
+
+val tiling_table : unit -> Mdh_support.Table.t
+(** MDH cache tiling on/off. *)
+
+val reduction_parallel_table : unit -> Mdh_support.Table.t
+(** MDH reduction-dimension parallelisation on/off — the core
+    "reduction-aware" mechanism isolated. *)
+
+val tuning_budget_table : unit -> Mdh_support.Table.t
+(** Tuned quality as a function of the evaluation budget. *)
+
+val openacc_tiling : unit -> unit
+val tiling : unit -> unit
+val reduction_parallel : unit -> unit
+val tuning_budget : unit -> unit
+val run : unit -> unit

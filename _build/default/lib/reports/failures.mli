@@ -1,0 +1,5 @@
+(** The Section 5.2 failure matrix: which system rejects which computation,
+    with the typed reason. *)
+
+val table : unit -> Mdh_support.Table.t
+val run : unit -> unit

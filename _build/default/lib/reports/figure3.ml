@@ -1,0 +1,49 @@
+(* Regenerates Figure 3: the workload-characteristics table, derived from
+   the directive programs themselves (dimensionality, reduction dimensions
+   and injectivity come out of the transformation's analyses, not a
+   hard-coded table). *)
+
+module W = Mdh_workloads.Workload
+module Md_hom = Mdh_core.Md_hom
+module Table = Mdh_support.Table
+
+let table () =
+  let table =
+    Table.create
+      ~headers:
+        [ "Computation"; "Iter. Space"; "Red. Dim."; "Data Acc."; "Inp."; "Sizes";
+          "Basic Type"; "Domain" ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      List.iter
+        (fun (inp, params) ->
+          let md = W.to_md_hom w params in
+          let c = Md_hom.characteristics md in
+          let first = String.equal inp (fst (List.hd w.W.paper_inputs)) in
+          Table.add_row table
+            [ (if first then w.W.wl_name else "");
+              (if first then Printf.sprintf "%dD" c.Md_hom.iter_space_rank else "");
+              (if first then
+                 (if c.Md_hom.n_reduction_dims > 0 then
+                    string_of_int c.Md_hom.n_reduction_dims
+                  else "-")
+               else "");
+              (if first then
+                 match c.Md_hom.injective_accesses with
+                 | Some true -> "Inj."
+                 | Some false -> "Non-Inj."
+                 | None -> "?"
+               else "");
+              inp;
+              String.concat "  " (W.sizes_strings w params);
+              w.W.basic_type;
+              w.W.domain ])
+        w.W.paper_inputs;
+      Table.add_separator table)
+    Mdh_workloads.Catalog.figure3;
+  table
+
+let run () =
+  Report.section "Figure 3: computation and data characteristics";
+  Table.print (table ())

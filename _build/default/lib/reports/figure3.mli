@@ -1,0 +1,6 @@
+(** Figure 3 regeneration: the workload-characteristics table, derived from
+    the directive programs (dimensionality, reduction dimensions and
+    injectivity come out of the transformation's analyses). *)
+
+val table : unit -> Mdh_support.Table.t
+val run : unit -> unit

@@ -1,0 +1,71 @@
+(* Regenerates Figure 4: speedup of the MDH-directive-generated code over
+   each state-of-the-art system, per workload and input size, on the
+   GPU-like and CPU-like devices. Baseline failures appear as the typed
+   failure the paper reports (PPCG on Dot, Pluto on PRL, TVM on custom
+   reducers, ...). *)
+
+module W = Mdh_workloads.Workload
+module Device = Mdh_machine.Device
+module Common = Mdh_baselines.Common
+module Baselines = Mdh_baselines
+module Table = Mdh_support.Table
+
+type column = { col_name : string; compile : Mdh_core.Md_hom.t -> Device.t -> (Common.outcome, Common.failure) result }
+
+let columns (dev : Device.t) =
+  match dev.Device.kind with
+  | Device.Gpu ->
+    [ { col_name = "OpenACC"; compile = Baselines.Openacc.system.Common.compile ~tuned:false };
+      { col_name = "PPCG"; compile = Baselines.Polyhedral.ppcg.Common.compile ~tuned:false };
+      { col_name = "PPCG(ATF)"; compile = Baselines.Polyhedral.ppcg.Common.compile ~tuned:true };
+      { col_name = "TVM"; compile = Baselines.Tvm.system.Common.compile ~tuned:true };
+      { col_name = "cuBLAS/cuDNN"; compile = Baselines.Vendor.system.Common.compile ~tuned:false } ]
+  | Device.Cpu ->
+    [ { col_name = "OpenMP"; compile = Baselines.Openmp.system.Common.compile ~tuned:false };
+      { col_name = "Pluto"; compile = Baselines.Polyhedral.pluto.Common.compile ~tuned:false };
+      { col_name = "Pluto(ATF)"; compile = Baselines.Polyhedral.pluto.Common.compile ~tuned:true };
+      { col_name = "Numba"; compile = Baselines.Numba.system.Common.compile ~tuned:false };
+      { col_name = "TVM"; compile = Baselines.Tvm.system.Common.compile ~tuned:true };
+      { col_name = "oneMKL/oneDNN"; compile = Baselines.Vendor.system.Common.compile ~tuned:false } ]
+
+let table (dev : Device.t) =
+  let cols = columns dev in
+  let table =
+    Table.create
+      ~headers:
+        ("Computation" :: "Inp." :: "MDH time"
+        :: List.map (fun c -> c.col_name) cols)
+  in
+  List.iter
+    (fun (w : W.t) ->
+      List.iter
+        (fun (inp, params) ->
+          let md = W.to_md_hom w params in
+          let mdh = Report.mdh_seconds md dev in
+          let cells =
+            List.map
+              (fun c ->
+                match c.compile md dev with
+                | Ok o -> Report.speedup_str (Common.seconds o /. mdh)
+                | Error f -> Report.short_failure f)
+              cols
+          in
+          Table.add_row table (w.W.wl_name :: inp :: Report.time_str mdh :: cells))
+        w.W.paper_inputs)
+    Mdh_workloads.Catalog.figure3;
+  table
+
+let run_device (dev : Device.t) =
+  Report.section
+    (Printf.sprintf "Figure 4 (%s): speedup of MDH-generated code (x = t_other / t_MDH)"
+       (match dev.Device.kind with Device.Gpu -> "GPU" | Device.Cpu -> "CPU"));
+  Table.print (table dev);
+  print_newline ()
+
+let run which =
+  (match which with
+  | `Gpu -> run_device Device.a100_like
+  | `Cpu -> run_device Device.xeon6140_like
+  | `Both ->
+    run_device Device.a100_like;
+    run_device Device.xeon6140_like)

@@ -1,0 +1,6 @@
+(** Figure 4 regeneration: speedups of the MDH-generated code over each
+    system in the evaluation line-up, per workload and input size. Baseline
+    failures render as the typed failure the paper reports. *)
+
+val table : Mdh_machine.Device.t -> Mdh_support.Table.t
+val run : [ `Gpu | `Cpu | `Both ] -> unit

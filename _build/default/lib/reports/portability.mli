@@ -1,0 +1,26 @@
+(** Performance-portability scores (Pennycook, Sewall & Lee's metric):
+    for each system, the harmonic mean over a set of (workload, input,
+    device) cases of its *application efficiency* — achieved performance
+    relative to the best observed on that case.
+
+    The paper's central portability claim ("consistently high and portable
+    performance", Section 1/footnote 1) becomes one number per system:
+    MDH's score must be close to 1; single-device systems and systems that
+    reject cases score 0 in the strict metric, so the table also reports
+    the mean over each system's supported cases and the supported-case
+    count. *)
+
+type score = {
+  system : string;
+  strict : float;  (** harmonic mean over all cases; 0 if any case fails *)
+  supported_only : float;  (** harmonic mean over the cases the system handles *)
+  supported : int;
+  total : int;
+}
+
+val scores : unit -> score list
+(** Over every Figure 3 workload and input size on both devices. Systems:
+    MDH, OpenMP, OpenACC, PPCG(ATF), Pluto(ATF), Numba, TVM, vendor. *)
+
+val table : unit -> Mdh_support.Table.t
+val run : unit -> unit

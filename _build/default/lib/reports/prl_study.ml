@@ -1,0 +1,59 @@
+(* The PRL input-size study of Section 5.2: why OpenMP/OpenACC do well on
+   Inp.2 (2^15 x 2^15) but poorly on Inp.1 (2^10 new patients x 2^15
+   registry entries), and how the MDH directive's custom reduction operator
+   avoids the collapse. *)
+
+module W = Mdh_workloads.Workload
+module Device = Mdh_machine.Device
+module Common = Mdh_baselines.Common
+module Cost = Mdh_lowering.Cost
+module Table = Mdh_support.Table
+
+let table () =
+  let table =
+    Table.create
+      ~headers:
+        [ "Inp."; "N (new)"; "I (registry)"; "Device"; "System"; "time";
+          "vs MDH"; "parallel units kept busy" ]
+  in
+  List.iter
+    (fun (inp, params) ->
+      let md = W.to_md_hom Mdh_workloads.Prl.prl params in
+      let n = W.p params "N" and i = W.p params "I" in
+      List.iter
+        (fun (dev, directive_system) ->
+          let mdh_outcome =
+            match Mdh_baselines.Registry.mdh.Common.compile ~tuned:true md dev with
+            | Ok o -> o
+            | Error f -> failwith (Common.failure_to_string f)
+          in
+          let mdh = Common.seconds mdh_outcome in
+          let add (o : Common.outcome) =
+            Table.add_row table
+              [ inp; string_of_int n; string_of_int i; dev.Device.device_name;
+                o.Common.system; Report.time_str (Common.seconds o);
+                Report.speedup_str (Common.seconds o /. mdh);
+                string_of_int o.Common.analysis.Cost.achieved_units ]
+          in
+          add mdh_outcome;
+          (match (directive_system : Common.system).Common.compile ~tuned:false md dev with
+          | Ok o -> add o
+          | Error f ->
+            Table.add_row table
+              [ inp; string_of_int n; string_of_int i; dev.Device.device_name;
+                directive_system.Common.sys_name; Report.short_failure f; "-"; "-" ]))
+        [ (Device.a100_like, Mdh_baselines.Openacc.system);
+          (Device.xeon6140_like, Mdh_baselines.Openmp.system) ];
+      Table.add_separator table)
+    Mdh_workloads.Prl.prl.W.paper_inputs;
+  table
+
+let run () =
+  Report.section "PRL study (Section 5.2): custom reduction and the Inp.1/Inp.2 shape";
+  Table.print (table ());
+  print_newline ();
+  print_endline
+    "OpenMP/OpenACC cannot name prl_best in a reduction clause, so only the\n\
+     outer (new-patients) loop is parallel. For Inp.1 that loop has 2^10\n\
+     iterations - far too few to keep the device busy - while MDH also\n\
+     parallelises the 2^15-wide reduction through its combine operator."

@@ -1,0 +1,6 @@
+(** The PRL input-size study of Section 5.2: per-input, per-device
+    comparison of MDH against the OpenMP/OpenACC directive model, with the
+    parallel-unit occupancy explaining the Inp.1 collapse. *)
+
+val table : unit -> Mdh_support.Table.t
+val run : unit -> unit

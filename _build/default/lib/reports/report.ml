@@ -1,0 +1,35 @@
+(* Shared helpers for the benchmark reports. *)
+
+module W = Mdh_workloads.Workload
+module Device = Mdh_machine.Device
+module Common = Mdh_baselines.Common
+module Registry = Mdh_baselines.Registry
+
+let section title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+let time_str s =
+  if s < 1e-6 then Printf.sprintf "%.0f ns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.1f us" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.2f s" s
+
+let speedup_str x =
+  if x >= 100.0 then Printf.sprintf "%.0fx" x
+  else if x >= 10.0 then Printf.sprintf "%.1fx" x
+  else Printf.sprintf "%.2fx" x
+
+let short_failure = function
+  | Common.Unsupported_reduction _ -> "FAIL:reducer"
+  | Common.Polyhedral_extraction_error _ -> "FAIL:polyhedra"
+  | Common.No_parallel_dim _ -> "FAIL:no-par"
+  | Common.Out_of_resources _ -> "FAIL:resources"
+  | Common.Wrong_device _ -> "n/a"
+  | Common.Not_supported _ -> "n/a"
+
+let md_of (w : W.t) inp = W.to_md_hom w (List.assoc inp w.W.paper_inputs)
+
+let mdh_seconds md dev =
+  match Registry.mdh.Common.compile ~tuned:true md dev with
+  | Ok o -> Common.seconds o
+  | Error f -> failwith ("MDH failed to compile: " ^ Common.failure_to_string f)

@@ -1,0 +1,10 @@
+(** Host-transfer study: the cost of the explicit [copyin]/[copyout] data
+    movement that the OpenACC listing manages (Listing 3, lines 7-8), per
+    GPU workload — kernel-only time vs kernel-plus-PCIe time for the tuned
+    MDH code. Shows which of Figure 3's computations are transfer-dominated
+    (the low-intensity linear algebra) and which amortise the movement
+    (the deep-learning and quantum-chemistry kernels), the usual argument
+    for keeping data resident across kernel launches. *)
+
+val table : unit -> Mdh_support.Table.t
+val run : unit -> unit

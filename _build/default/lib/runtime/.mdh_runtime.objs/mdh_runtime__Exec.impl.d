@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array List Mdh_combine Mdh_core Mdh_lowering Mdh_machine Mdh_tensor Pool

@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Mdh_core Mdh_lowering Mdh_tensor Pool

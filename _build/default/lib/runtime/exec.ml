@@ -1,0 +1,64 @@
+module Md_hom = Mdh_core.Md_hom
+module Semantics = Mdh_core.Semantics
+module Buffer = Mdh_tensor.Buffer
+module Combine = Mdh_combine.Combine
+module Schedule = Mdh_lowering.Schedule
+
+let host_device pool =
+  { Mdh_machine.Device.device_name = "host";
+    kind = Mdh_machine.Device.Cpu;
+    layers = [| { layer_name = "workers"; max_units = Pool.num_workers pool } |];
+    peak_gflops = 1.0;
+    mem = [| { level_name = "RAM"; capacity_bytes = max_int; bandwidth_gbs = 1.0 } |];
+    link_gbs = None;
+    launch_overhead_s = 0.0;
+    saturation_units = 1;
+    min_bw_fraction = 1.0;
+    compute_saturation_units = 1 }
+
+let run_seq md env = Semantics.exec md env
+
+let run pool (md : Md_hom.t) sched env =
+  match Schedule.legal md (host_device pool) { sched with Schedule.used_layers = [] } with
+  | Error _ as e -> e
+  | Ok () ->
+    let sched = Schedule.clamp md sched in
+    (match sched.Schedule.parallel_dims with
+    | [] -> Ok (run_seq md env)
+    | pd ->
+      (* split the outermost parallel dimension into per-worker boxes *)
+      let d = List.fold_left min (List.hd pd) pd in
+      let extent = md.sizes.(d) in
+      let workers = Pool.num_workers pool in
+      let n_chunks = min extent (workers * 2) in
+      let chunk = (extent + n_chunks - 1) / n_chunks in
+      let env = Semantics.alloc_outputs md env in
+      let rank = Md_hom.rank md in
+      List.iter
+        (fun (o : Md_hom.output) ->
+          let thunks =
+            Array.init n_chunks (fun c ->
+                fun () ->
+                  let lo = Array.make rank 0 in
+                  let sz = Array.copy md.sizes in
+                  lo.(d) <- c * chunk;
+                  sz.(d) <- min chunk (extent - (c * chunk));
+                  if sz.(d) <= 0 then None
+                  else Some (Semantics.eval_box md env o ~lo ~sz))
+          in
+          let partials = Pool.run_in_parallel pool thunks in
+          let combined =
+            Array.fold_left
+              (fun acc partial ->
+                match (acc, partial) with
+                | None, p -> p
+                | Some a, Some p ->
+                  Some (Combine.combine_partials md.combine_ops.(d) ~dim:d a p)
+                | Some _, None -> acc)
+              None partials
+          in
+          match combined with
+          | Some tensor -> Semantics.write_output env md o tensor
+          | None -> ())
+        md.outputs;
+      Ok env)

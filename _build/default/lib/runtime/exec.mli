@@ -1,0 +1,25 @@
+(** Parallel execution of scheduled MDH computations on the host, using the
+    domain pool.
+
+    The executor realises the schedule's outermost parallel decision for
+    real: the first parallel dimension is split into per-worker boxes, each
+    box is evaluated independently ({!Mdh_core.Semantics.eval_box}), and the
+    partial results are recombined in order with the dimension's combine
+    operator — concatenation for [cc], the customising function for [pw],
+    carry propagation for [ps]. Because recombination happens in index
+    order, associative (not necessarily commutative) operators yield the
+    sequential result, which the tests assert. *)
+
+val run :
+  Pool.t ->
+  Mdh_core.Md_hom.t ->
+  Mdh_lowering.Schedule.t ->
+  Mdh_tensor.Buffer.env ->
+  (Mdh_tensor.Buffer.env, string) result
+(** Fails iff the schedule is illegal (checked against a single-layer host
+    description). When the schedule has no parallel dimensions, runs
+    sequentially. *)
+
+val run_seq : Mdh_core.Md_hom.t -> Mdh_tensor.Buffer.env -> Mdh_tensor.Buffer.env
+(** Sequential in-place execution (alias for [Semantics.exec]), the
+    baseline the parallel path is checked against. *)

@@ -1,0 +1,209 @@
+type t = {
+  mutable domains : unit Domain.t array;
+  mutex : Mutex.t;
+  job_ready : Condition.t;
+  job_done : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable generation : int;
+  mutable active : int;
+  mutable stop : bool;
+  mutable stopped : bool;
+  in_job : bool Atomic.t;
+      (* nested submission from inside a job would deadlock the pool; detect
+         it and fail loudly instead *)
+}
+
+let worker pool () =
+  let seen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && (pool.generation = !seen || pool.job = None) do
+      Condition.wait pool.job_ready pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      continue := false
+    end
+    else begin
+      seen := pool.generation;
+      let job = Option.get pool.job in
+      Mutex.unlock pool.mutex;
+      (try job () with _ -> ());
+      Mutex.lock pool.mutex;
+      pool.active <- pool.active - 1;
+      if pool.active = 0 then Condition.broadcast pool.job_done;
+      Mutex.unlock pool.mutex
+    end
+  done
+
+let create ?num_domains () =
+  let n =
+    match num_domains with
+    | Some n -> max 0 n
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    { domains = [||]; mutex = Mutex.create (); job_ready = Condition.create ();
+      job_done = Condition.create (); job = None; generation = 0; active = 0;
+      stop = false; stopped = false; in_job = Atomic.make false }
+  in
+  pool.domains <- Array.init n (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let num_workers t = Array.length t.domains + 1
+
+let run_job t job =
+  if Array.length t.domains = 0 then job ()
+  else if not (Atomic.compare_and_set t.in_job false true) then
+    invalid_arg
+      "Pool: nested parallel submission from inside a running job (would deadlock); \
+       run nested work sequentially or use a second pool"
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some job;
+    t.generation <- t.generation + 1;
+    t.active <- Array.length t.domains;
+    Condition.broadcast t.job_ready;
+    Mutex.unlock t.mutex;
+    job ();
+    Mutex.lock t.mutex;
+    while t.active > 0 do
+      Condition.wait t.job_done t.mutex
+    done;
+    t.job <- None;
+    Mutex.unlock t.mutex;
+    Atomic.set t.in_job false
+  end
+
+let parallel_for t ?grain ~lo ~hi body =
+  if hi > lo then begin
+    let n = hi - lo in
+    let grain =
+      match grain with
+      | Some g -> max 1 g
+      | None -> max 1 (n / (8 * num_workers t))
+    in
+    if n <= grain || num_workers t = 1 then
+      for i = lo to hi - 1 do body i done
+    else begin
+      let next = Atomic.make lo in
+      let error = Atomic.make None in
+      let job () =
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add next grain in
+          if start >= hi then continue := false
+          else begin
+            let stop = min hi (start + grain) in
+            try
+              for i = start to stop - 1 do body i done
+            with e ->
+              ignore (Atomic.compare_and_set error None (Some e));
+              continue := false
+          end
+        done
+      in
+      run_job t job;
+      match Atomic.get error with Some e -> raise e | None -> ()
+    end
+  end
+
+let parallel_reduce t ?grain ~lo ~hi ~map ~combine seed =
+  if hi <= lo then seed
+  else begin
+    let n = hi - lo in
+    let grain =
+      match grain with
+      | Some g -> max 1 g
+      | None -> max 1 (n / (8 * num_workers t))
+    in
+    let n_chunks = (n + grain - 1) / grain in
+    let partials = Array.make n_chunks None in
+    parallel_for t ~grain:1 ~lo:0 ~hi:n_chunks (fun c ->
+        let start = lo + (c * grain) in
+        let stop = min hi (start + grain) in
+        let acc = ref (map start) in
+        for i = start + 1 to stop - 1 do
+          acc := combine !acc (map i)
+        done;
+        partials.(c) <- Some !acc);
+    Array.fold_left
+      (fun acc p -> match p with Some v -> combine acc v | None -> acc)
+      seed partials
+  end
+
+let scan_sequential f xs =
+  let n = Array.length xs in
+  let out = Array.make n xs.(0) in
+  for i = 1 to n - 1 do
+    out.(i) <- f out.(i - 1) xs.(i)
+  done;
+  out
+
+let scan_inclusive t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if num_workers t = 1 then scan_sequential f xs
+  else begin
+    let workers = num_workers t in
+    let n_blocks = min n (workers * 4) in
+    let block_size = (n + n_blocks - 1) / n_blocks in
+    let out = Array.make n xs.(0) in
+    (* phase 1: scan each block independently *)
+    parallel_for t ~grain:1 ~lo:0 ~hi:n_blocks (fun b ->
+        let start = b * block_size in
+        let stop = min n (start + block_size) in
+        if start < stop then begin
+          out.(start) <- xs.(start);
+          for i = start + 1 to stop - 1 do
+            out.(i) <- f out.(i - 1) xs.(i)
+          done
+        end);
+    (* phase 2: exclusive scan of block totals, sequential (n_blocks is tiny) *)
+    let carries = Array.make n_blocks None in
+    let carry = ref None in
+    for b = 0 to n_blocks - 1 do
+      carries.(b) <- !carry;
+      let start = b * block_size in
+      let stop = min n (start + block_size) in
+      if start < stop then begin
+        let total = out.(stop - 1) in
+        carry := Some (match !carry with None -> total | Some c -> f c total)
+      end
+    done;
+    (* phase 3: apply carries in parallel *)
+    parallel_for t ~grain:1 ~lo:0 ~hi:n_blocks (fun b ->
+        match carries.(b) with
+        | None -> ()
+        | Some c ->
+          let start = b * block_size in
+          let stop = min n (start + block_size) in
+          for i = start to stop - 1 do
+            out.(i) <- f c out.(i)
+          done);
+    out
+  end
+
+let run_in_parallel t thunks =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    parallel_for t ~grain:1 ~lo:0 ~hi:n (fun i -> results.(i) <- Some (thunks.(i) ()));
+    Array.map Option.get results
+  end
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.job_ready;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains
+  end
+
+let with_pool ?num_domains f =
+  let pool = create ?num_domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,48 @@
+(** A reusable pool of OCaml 5 domains with chunked work distribution.
+
+    OCaml 5.1 ships multicore support but no task library in the stdlib, so
+    this module provides the parallel substrate the reproduction executes
+    lowered plans on: a fixed set of worker domains that repeatedly pick up
+    jobs; each job drains a shared atomic chunk counter, giving dynamic load
+    balancing without work stealing. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [num_domains] counts workers in addition to the caller; defaults to
+    [Domain.recommended_domain_count () - 1], at least 0. *)
+
+val num_workers : t -> int
+(** Total parallelism including the calling domain (>= 1). *)
+
+val parallel_for : t -> ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Apply the body to every index in [\[lo, hi)], distributing chunks of
+    [grain] (default: range / (8 x workers), at least 1) across the pool.
+    The body must be safe to run concurrently on distinct indices.
+    Exceptions in the body are re-raised in the caller (first one wins).
+    Nested parallel submission from inside a body is detected and raises
+    [Invalid_argument] (it would deadlock the fixed worker set). *)
+
+val parallel_reduce :
+  t -> ?grain:int -> lo:int -> hi:int -> map:(int -> 'a) ->
+  combine:('a -> 'a -> 'a) -> 'a -> 'a
+(** Tree-style reduction: map each index, combine within chunks left to
+    right, then combine chunk partials in index order — so an associative
+    (not necessarily commutative) [combine] gives the sequential result.
+    The final fold starts from the given seed. *)
+
+val scan_inclusive : t -> ('a -> 'a -> 'a) -> 'a array -> 'a array
+(** Two-phase parallel inclusive prefix scan (associative operator):
+    per-block scans, a sequential block-total scan, then a parallel carry
+    pass. *)
+
+val run_in_parallel : t -> (unit -> 'a) array -> 'a array
+(** Execute independent thunks across the pool, returning their results in
+    order. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must not be used afterwards.
+    Idempotent. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** Create, run, and always shut down. *)

@@ -1,0 +1,58 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    if n mod 2 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+  end
+
+let min xs = Array.fold_left Stdlib.min infinity xs
+let max xs = Array.fold_left Stdlib.max neg_infinity xs
+
+let z99 = 2.576
+
+let ci99_halfwidth xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0 else z99 *. stddev xs /. sqrt (float_of_int n)
+
+type measurement = {
+  mean : float;
+  stddev : float;
+  ci99 : float;
+  samples : int;
+}
+
+let pp_measurement ppf m =
+  Format.fprintf ppf "%.6g ± %.2g (99%% CI, n=%d)" m.mean m.ci99 m.samples
+
+let measure_until_ci ?(rel_ci = 0.05) ?(min_samples = 5) ?(max_samples = 1000) f =
+  let samples = ref [] in
+  let count = ref 0 in
+  let converged () =
+    let xs = Array.of_list !samples in
+    let m = mean xs in
+    !count >= min_samples && (m = 0.0 || ci99_halfwidth xs <= rel_ci *. Float.abs m)
+  in
+  while !count < max_samples && not (converged ()) do
+    samples := f () :: !samples;
+    incr count
+  done;
+  let xs = Array.of_list !samples in
+  { mean = mean xs; stddev = stddev xs; ci99 = ci99_halfwidth xs; samples = !count }

@@ -1,0 +1,87 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let left = fill / 2 in
+      String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render ?aligns t =
+  let ncols = List.length t.headers in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | _ -> List.mapi (fun i _ -> if i = 0 then Left else Right) t.headers
+  in
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let note_widths = function
+    | Separator -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+        cells
+  in
+  List.iter note_widths rows;
+  let buf = Buffer.create 1024 in
+  let sep_line () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a widths.(i) c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  sep_line ();
+  emit_cells t.headers;
+  sep_line ();
+  List.iter
+    (function Separator -> sep_line () | Cells cells -> emit_cells cells)
+    rows;
+  sep_line ();
+  Buffer.contents buf
+
+let print ?aligns t = print_string (render ?aligns t)
+
+let headers t = t.headers
+
+let rows t =
+  List.rev t.rows
+  |> List.filter_map (function Cells cells -> Some cells | Separator -> None)
+
+let cell t ~row ~col =
+  let cells =
+    match List.nth_opt (rows t) row with
+    | Some cells -> cells
+    | None -> invalid_arg (Printf.sprintf "Table.cell: no row %d" row)
+  in
+  let rec find headers cells =
+    match (headers, cells) with
+    | h :: _, c :: _ when String.equal h col -> c
+    | _ :: hs, _ :: cs -> find hs cs
+    | _ -> invalid_arg (Printf.sprintf "Table.cell: no column %S" col)
+  in
+  find t.headers cells

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for benchmark and experiment reports. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : headers:string list -> t
+(** Create a table with the given column headers. All rows must have the same
+    number of cells as there are headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] on arity mismatch. *)
+
+val add_separator : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : ?aligns:align list -> t -> string
+(** Render with box-drawing in ASCII. [aligns] defaults to left for the first
+    column and right for the rest. *)
+
+val print : ?aligns:align list -> t -> unit
+
+val headers : t -> string list
+
+val rows : t -> string list list
+(** Data rows in insertion order (separators omitted). *)
+
+val cell : t -> row:int -> col:string -> string
+(** Cell of the [row]-th data row in the column named [col]; raises
+    [Invalid_argument] on unknown column or row. *)

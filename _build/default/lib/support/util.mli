@@ -1,0 +1,26 @@
+(** Small shared helpers. *)
+
+val product : int array -> int
+(** Product of all elements; 1 for the empty array. *)
+
+val divisors : int -> int list
+(** All positive divisors of [n] in increasing order. Raises on [n <= 0]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [a / b] rounded up; [b > 0]. *)
+
+val pow2_up_to : int -> int list
+(** Powers of two [1; 2; 4; ...] not exceeding [n]. *)
+
+val float_equal : ?rel:float -> ?abs:float -> float -> float -> bool
+(** Tolerant float comparison: true when within [abs] (default 1e-9) or
+    relative [rel] (default 1e-6) of each other. *)
+
+val list_result_all : ('a, 'e) result list -> ('a list, 'e) result
+(** First error wins; otherwise the list of all [Ok] payloads. *)
+
+val string_of_dims : int array -> string
+(** ["4096x4096"]-style rendering of a shape. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds. *)

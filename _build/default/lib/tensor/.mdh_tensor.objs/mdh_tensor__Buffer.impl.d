@@ -1,0 +1,1 @@
+lib/tensor/buffer.ml: Dense List Map Printf Scalar String

@@ -1,0 +1,1 @@
+lib/tensor/index_fn.ml: Array Float Format Hashtbl List Printf Shape

@@ -1,0 +1,1 @@
+lib/tensor/index_fn.mli: Format Shape

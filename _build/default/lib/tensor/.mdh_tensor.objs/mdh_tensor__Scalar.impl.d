@@ -1,0 +1,1 @@
+lib/tensor/scalar.ml: Bool Char Float Format Int32 Int64 List Mdh_support Printf String

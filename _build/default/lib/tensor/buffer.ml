@@ -1,0 +1,29 @@
+type t = { name : string; data : Dense.t }
+
+let create name ty shape = { name; data = Dense.create ty shape }
+let of_dense name data = { name; data }
+
+let name t = t.name
+let ty t = Dense.ty t.data
+let shape t = Dense.shape t.data
+let data t = t.data
+
+let size_bytes t = Dense.num_elements t.data * Scalar.size_bytes (ty t)
+
+module Smap = Map.Make (String)
+
+type env = t Smap.t
+
+let env_of_list buffers =
+  List.fold_left
+    (fun env buf ->
+      if Smap.mem buf.name env then
+        invalid_arg (Printf.sprintf "Buffer.env_of_list: duplicate buffer %S" buf.name);
+      Smap.add buf.name buf env)
+    Smap.empty buffers
+
+let env_find env name = Smap.find name env
+let env_find_opt env name = Smap.find_opt name env
+let env_mem env name = Smap.mem name env
+let env_names env = List.map fst (Smap.bindings env)
+let env_add env buf = Smap.add buf.name buf env

@@ -1,0 +1,29 @@
+(** Named input/output buffers, as declared in the [inp(...)] / [out(...)]
+    clauses of the MDH directive (Listing 14). A buffer is a named dense
+    tensor; the environment type maps buffer identifiers to their data. *)
+
+type t = { name : string; data : Dense.t }
+
+val create : string -> Scalar.ty -> Shape.t -> t
+val of_dense : string -> Dense.t -> t
+
+val name : t -> string
+val ty : t -> Scalar.ty
+val shape : t -> Shape.t
+val data : t -> Dense.t
+
+val size_bytes : t -> int
+
+type env
+(** An immutable name -> buffer mapping (buffers themselves are mutable). *)
+
+val env_of_list : t list -> env
+(** Raises [Invalid_argument] on duplicate names. *)
+
+val env_find : env -> string -> t
+(** Raises [Not_found]. *)
+
+val env_find_opt : env -> string -> t option
+val env_mem : env -> string -> bool
+val env_names : env -> string list
+val env_add : env -> t -> env

@@ -1,0 +1,107 @@
+type t = { ty : Scalar.ty; shape : Shape.t; data : Scalar.value array }
+
+let create ty shape =
+  Shape.validate shape;
+  { ty; shape; data = Array.make (Shape.num_elements shape) (Scalar.zero ty) }
+
+let of_fn ty shape f =
+  Shape.validate shape;
+  let t = create ty shape in
+  Shape.iter shape (fun idx -> t.data.(Shape.linearize shape idx) <- f idx);
+  t
+
+let scalar v = { ty = Scalar.type_of_value v; shape = [||]; data = [| v |] }
+
+let ty t = t.ty
+let shape t = t.shape
+let num_elements t = Array.length t.data
+
+let get t idx = t.data.(Shape.linearize t.shape idx)
+let set t idx v = t.data.(Shape.linearize t.shape idx) <- v
+
+let get_linear t i = t.data.(i)
+let set_linear t i v = t.data.(i) <- v
+
+let copy t = { t with data = Array.copy t.data }
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let iteri t f = Shape.iter t.shape (fun idx -> f idx t.data.(Shape.linearize t.shape idx))
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then invalid_arg "Dense.map2: shape mismatch";
+  { a with data = Array.map2 f a.data b.data }
+
+let equal a b =
+  Shape.equal a.shape b.shape && Array.for_all2 Scalar.equal a.data b.data
+
+let approx_equal ?rel ?abs a b =
+  Shape.equal a.shape b.shape
+  && Array.for_all2 (Scalar.approx_equal ?rel ?abs) a.data b.data
+
+let slice t ~dim ~lo ~len =
+  let rank = Shape.rank t.shape in
+  if dim < 0 || dim >= rank then invalid_arg "Dense.slice: dimension out of range";
+  if lo < 0 || len <= 0 || lo + len > t.shape.(dim) then
+    invalid_arg "Dense.slice: range out of bounds";
+  let out_shape = Shape.concat_extent t.shape ~dim len in
+  let out = create t.ty out_shape in
+  Shape.iter out_shape (fun idx ->
+      let src = Array.copy idx in
+      src.(dim) <- idx.(dim) + lo;
+      set out idx (get t src));
+  out
+
+let concat ~dim a b =
+  let rank = Shape.rank a.shape in
+  if Shape.rank b.shape <> rank then invalid_arg "Dense.concat: rank mismatch";
+  Array.iteri
+    (fun d n ->
+      if d <> dim && n <> b.shape.(d) then
+        invalid_arg "Dense.concat: extents disagree off the concat dimension")
+    a.shape;
+  let out_shape = Shape.concat_extent a.shape ~dim (a.shape.(dim) + b.shape.(dim)) in
+  let out = create a.ty out_shape in
+  Shape.iter a.shape (fun idx -> set out idx (get a idx));
+  Shape.iter b.shape (fun idx ->
+      let dst = Array.copy idx in
+      dst.(dim) <- idx.(dim) + a.shape.(dim);
+      set out dst (get b idx));
+  out
+
+let outer_shape shape dim = Array.of_list (List.filteri (fun d _ -> d <> dim) (Array.to_list shape))
+
+let with_dim idx dim i =
+  let rank = Array.length idx + 1 in
+  Array.init rank (fun d -> if d < dim then idx.(d) else if d = dim then i else idx.(d - 1))
+
+let scan ~dim f t =
+  let out = copy t in
+  let outer = outer_shape t.shape dim in
+  Shape.iter outer (fun oidx ->
+      let acc = ref (get t (with_dim oidx dim 0)) in
+      for i = 1 to t.shape.(dim) - 1 do
+        acc := f !acc (get t (with_dim oidx dim i));
+        set out (with_dim oidx dim i) !acc
+      done);
+  out
+
+let reduce ~dim f t =
+  let out_shape = Shape.concat_extent t.shape ~dim 1 in
+  let out = create t.ty out_shape in
+  let outer = outer_shape t.shape dim in
+  Shape.iter outer (fun oidx ->
+      let acc = ref (get t (with_dim oidx dim 0)) in
+      for i = 1 to t.shape.(dim) - 1 do
+        acc := f !acc (get t (with_dim oidx dim i))
+      done;
+      set out (with_dim oidx dim 0) !acc);
+  out
+
+let pp ppf t =
+  Format.fprintf ppf "tensor %s %a [@[" (Shape.to_string t.shape) Scalar.pp_ty t.ty;
+  let first = ref true in
+  iteri t (fun _ v ->
+      if !first then first := false else Format.pp_print_string ppf "; ";
+      Scalar.pp_value ppf v);
+  Format.fprintf ppf "@]]"

@@ -1,0 +1,237 @@
+type coord = { coeffs : int array; offset : int }
+
+type t =
+  | Affine of { arity : int; coords : coord array }
+  | Opaque of { arity : int; out_rank : int; fn : int array -> int array }
+
+let arity = function Affine { arity; _ } -> arity | Opaque { arity; _ } -> arity
+
+let out_rank = function
+  | Affine { coords; _ } -> Array.length coords
+  | Opaque { out_rank; _ } -> out_rank
+
+let apply t point =
+  if Array.length point <> arity t then
+    invalid_arg
+      (Printf.sprintf "Index_fn.apply: point rank %d, function arity %d"
+         (Array.length point) (arity t));
+  match t with
+  | Affine { coords; _ } ->
+    Array.map
+      (fun { coeffs; offset } ->
+        let acc = ref offset in
+        Array.iteri (fun d c -> acc := !acc + (c * point.(d))) coeffs;
+        !acc)
+      coords
+  | Opaque { fn; _ } -> fn point
+
+let coord ~coeffs ~offset = { coeffs; offset }
+
+let affine ~arity coords =
+  List.iter
+    (fun { coeffs; _ } ->
+      if Array.length coeffs <> arity then
+        invalid_arg "Index_fn.affine: coefficient vector rank mismatch")
+    coords;
+  Affine { arity; coords = Array.of_list coords }
+
+let unit_coeffs arity d =
+  let coeffs = Array.make arity 0 in
+  coeffs.(d) <- 1;
+  coeffs
+
+let identity d =
+  Affine
+    { arity = d;
+      coords = Array.init d (fun i -> { coeffs = unit_coeffs d i; offset = 0 }) }
+
+let select ~arity dims =
+  List.iter
+    (fun d ->
+      if d < 0 || d >= arity then invalid_arg "Index_fn.select: dimension out of range")
+    dims;
+  Affine
+    { arity;
+      coords =
+        Array.of_list (List.map (fun d -> { coeffs = unit_coeffs arity d; offset = 0 }) dims)
+    }
+
+let shifted ~arity specs =
+  Affine
+    { arity;
+      coords =
+        Array.of_list
+          (List.map (fun (d, o) -> { coeffs = unit_coeffs arity d; offset = o }) specs) }
+
+let opaque ~arity ~out_rank fn = Opaque { arity; out_rank; fn }
+
+let is_affine = function Affine _ -> true | Opaque _ -> false
+
+(* Rank of an integer matrix over the rationals, by fraction-free Gaussian
+   elimination on a float copy (coefficients in index functions are tiny, so
+   floating point is exact enough here). Rows = coordinates, columns = dims. *)
+let rank_of rows ncols =
+  let m = Array.map (Array.map float_of_int) rows in
+  let nrows = Array.length m in
+  let rank = ref 0 in
+  let row = ref 0 in
+  for col = 0 to ncols - 1 do
+    if !row < nrows then begin
+      (* find pivot *)
+      let pivot = ref (-1) in
+      for r = !row to nrows - 1 do
+        if !pivot = -1 && Float.abs m.(r).(col) > 1e-9 then pivot := r
+      done;
+      if !pivot >= 0 then begin
+        let tmp = m.(!row) in
+        m.(!row) <- m.(!pivot);
+        m.(!pivot) <- tmp;
+        for r = !row + 1 to nrows - 1 do
+          let factor = m.(r).(col) /. m.(!row).(col) in
+          for c = col to ncols - 1 do
+            m.(r).(c) <- m.(r).(c) -. (factor *. m.(!row).(c))
+          done
+        done;
+        incr rank;
+        incr row
+      end
+    end
+  done;
+  !rank
+
+let brute_force_threshold = 1 lsl 18
+
+let brute_force_injective t space =
+  let seen = Hashtbl.create 1024 in
+  let result = ref true in
+  Shape.iter space (fun point ->
+      if !result then begin
+        let out = apply t point in
+        let key = Array.to_list out in
+        if Hashtbl.mem seen key then result := false else Hashtbl.add seen key ()
+      end);
+  !result
+
+(* Mixed-radix distinctness: a single linear form sum a_d i_d over a box is
+   injective iff, sorting the participating dims by |a_d|, each coefficient
+   strictly dominates the maximal reachable sum of the smaller ones. *)
+let coord_injective coeffs_and_extents =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> compare (abs a) (abs b)) coeffs_and_extents
+  in
+  let rec loop reach = function
+    | [] -> true
+    | (a, n) :: rest ->
+      if abs a < reach + 1 then false else loop (reach + (abs a * (n - 1))) rest
+  in
+  loop 0 sorted
+
+let injective_on t space =
+  match t with
+  | Opaque _ -> None
+  | Affine { arity; coords } ->
+    if Array.length space <> arity then
+      invalid_arg "Index_fn.injective_on: space rank mismatch";
+    let active = ref [] in
+    for d = arity - 1 downto 0 do
+      if space.(d) > 1 then active := d :: !active
+    done;
+    let active = !active in
+    if active = [] then Some true
+    else begin
+      let unused d = Array.for_all (fun { coeffs; _ } -> coeffs.(d) = 0) coords in
+      if List.exists unused active then Some false
+      else begin
+        let rows =
+          Array.map (fun { coeffs; _ } -> Array.of_list (List.map (Array.get coeffs) active)) coords
+        in
+        if rank_of rows (List.length active) = List.length active then Some true
+        else if Shape.num_elements space <= brute_force_threshold then
+          Some (brute_force_injective t space)
+        else begin
+          (* Rank-deficient on a large box: decide when active dims partition
+             across coordinates; each coordinate must then be injective on its
+             own dims. *)
+          let dims_of_coord { coeffs; _ } = List.filter (fun d -> coeffs.(d) <> 0) active in
+          let count_uses d =
+            Array.fold_left
+              (fun acc c -> if c.coeffs.(d) <> 0 then acc + 1 else acc)
+              0 coords
+          in
+          if List.for_all (fun d -> count_uses d = 1) active then
+            Some
+              (Array.for_all
+                 (fun c ->
+                   coord_injective
+                     (List.map (fun d -> (c.coeffs.(d), space.(d))) (dims_of_coord c)))
+                 coords)
+          else None
+        end
+      end
+    end
+
+let uses_dim t d =
+  match t with
+  | Opaque _ -> None
+  | Affine { arity; coords } ->
+    if d < 0 || d >= arity then invalid_arg "Index_fn.uses_dim: dimension out of range";
+    Some (Array.exists (fun { coeffs; _ } -> coeffs.(d) <> 0) coords)
+
+let coord_range { coeffs; offset } space =
+  let lo = ref offset and hi = ref offset in
+  Array.iteri
+    (fun d c ->
+      if c > 0 then hi := !hi + (c * (space.(d) - 1))
+      else if c < 0 then lo := !lo + (c * (space.(d) - 1)))
+    coeffs;
+  (!lo, !hi)
+
+let footprint t space =
+  match t with
+  | Opaque _ -> invalid_arg "Index_fn.footprint: opaque index function"
+  | Affine { arity; coords } ->
+    if Array.length space <> arity then
+      invalid_arg "Index_fn.footprint: space rank mismatch";
+    Array.fold_left
+      (fun acc c ->
+        let lo, hi = coord_range c space in
+        acc * (hi - lo + 1))
+      1 coords
+
+let extreme_index which name t space =
+  match t with
+  | Opaque _ -> invalid_arg (Printf.sprintf "Index_fn.%s: opaque index function" name)
+  | Affine { arity; coords } ->
+    if Array.length space <> arity then
+      invalid_arg (Printf.sprintf "Index_fn.%s: space rank mismatch" name);
+    Array.map (fun c -> which (coord_range c space)) coords
+
+let max_index t space = extreme_index snd "max_index" t space
+let min_index t space = extreme_index fst "min_index" t space
+
+let pp ppf = function
+  | Opaque { arity; out_rank; _ } ->
+    Format.fprintf ppf "<opaque %d->%d>" arity out_rank
+  | Affine { arity; coords } ->
+    let pp_coord ppf { coeffs; offset } =
+      let first = ref true in
+      let emit s =
+        if !first then first := false else Format.pp_print_string ppf " + ";
+        Format.pp_print_string ppf s
+      in
+      Array.iteri
+        (fun d c ->
+          if c = 1 then emit (Printf.sprintf "i%d" d)
+          else if c <> 0 then emit (Printf.sprintf "%d*i%d" c d))
+        coeffs;
+      if offset <> 0 || !first then emit (string_of_int offset)
+    in
+    Format.fprintf ppf "(%a) -> (%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_string)
+      (List.init arity (Printf.sprintf "i%d"))
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_coord)
+      (Array.to_list coords)

@@ -1,0 +1,69 @@
+(** Index functions: maps from iteration-space points to buffer indices.
+
+    These implement the [IDX_FNC] nonterminal of the MDH directive and DSL
+    (Listings 7 and 14): e.g. [(i,k) -> (i,k)] for the matrix of MatVec,
+    [(i,k) -> (k)] for its vector, or [(i) -> (i+1)] for a stencil access.
+
+    Affine index functions carry a symbolic representation — one coefficient
+    per iteration dimension plus an offset, per output coordinate — enabling
+    the injectivity analysis of Figure 3 and the footprint computation of the
+    machine cost model. Non-affine maps are represented opaquely and only
+    support application. *)
+
+type coord = { coeffs : int array; offset : int }
+(** One output coordinate: [sum_d coeffs.(d) * i_d + offset]. *)
+
+type t =
+  | Affine of { arity : int; coords : coord array }
+      (** [arity] = iteration-space rank (number of [i_d]). *)
+  | Opaque of { arity : int; out_rank : int; fn : int array -> int array }
+
+val arity : t -> int
+val out_rank : t -> int
+
+val apply : t -> int array -> int array
+(** Apply to an iteration point. Raises [Invalid_argument] on rank mismatch. *)
+
+val identity : int -> t
+(** [identity d]: [(i_1..i_d) -> (i_1..i_d)]. *)
+
+val select : arity:int -> int list -> t
+(** [select ~arity dims]: pick the listed iteration dimensions, e.g.
+    [select ~arity:2 [1]] is [(i,k) -> (k)]. *)
+
+val affine : arity:int -> coord list -> t
+
+val coord : coeffs:int array -> offset:int -> coord
+
+val shifted : arity:int -> (int * int) list -> t
+(** [shifted ~arity [(d0,o0); ...]]: each output coordinate [j] is
+    [i_{d_j} + o_j] — the common stencil/select-with-offset form. *)
+
+val opaque : arity:int -> out_rank:int -> (int array -> int array) -> t
+
+val is_affine : t -> bool
+
+val injective_on : t -> Shape.t -> bool option
+(** Whether the map is injective on the given iteration space.
+    [Some b] for affine maps (decided by rank analysis with a brute-force
+    fallback on small spaces); [None] for opaque maps. *)
+
+val uses_dim : t -> int -> bool option
+(** Whether output indices depend on iteration dimension [d].
+    [None] for opaque maps. *)
+
+val footprint : t -> Shape.t -> int
+(** Number of distinct buffer elements touched when the map is applied to
+    every point of the iteration (sub)space. Exact for affine maps with
+    per-coordinate independent ranges (conservative product of coordinate
+    range sizes otherwise); raises [Invalid_argument] on opaque maps. *)
+
+val max_index : t -> Shape.t -> int array
+(** Component-wise maximum buffer index reached over the iteration space
+    (used for buffer-size inference, footnote 7 of the paper). Affine only. *)
+
+val min_index : t -> Shape.t -> int array
+(** Component-wise minimum buffer index reached over the iteration space.
+    Affine only. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,180 @@
+type ty =
+  | Fp32
+  | Fp64
+  | Int32
+  | Int64
+  | Bool
+  | Char
+  | Record of (string * ty) list
+
+type value =
+  | F32 of float
+  | F64 of float
+  | I32 of int32
+  | I64 of int64
+  | B of bool
+  | C of char
+  | R of (string * value) list
+
+let rec pp_ty ppf = function
+  | Fp32 -> Format.pp_print_string ppf "fp32"
+  | Fp64 -> Format.pp_print_string ppf "fp64"
+  | Int32 -> Format.pp_print_string ppf "int32"
+  | Int64 -> Format.pp_print_string ppf "int64"
+  | Bool -> Format.pp_print_string ppf "bool"
+  | Char -> Format.pp_print_string ppf "char"
+  | Record fields ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf (name, ty) -> Format.fprintf ppf "%s:%a" name pp_ty ty))
+      fields
+
+let ty_to_string ty = Format.asprintf "%a" pp_ty ty
+
+let rec pp_value ppf = function
+  | F32 x -> Format.fprintf ppf "%gf" x
+  | F64 x -> Format.fprintf ppf "%g" x
+  | I32 x -> Format.fprintf ppf "%ldl" x
+  | I64 x -> Format.fprintf ppf "%LdL" x
+  | B b -> Format.pp_print_bool ppf b
+  | C c -> Format.fprintf ppf "%C" c
+  | R fields ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         (fun ppf (name, v) -> Format.fprintf ppf "%s=%a" name pp_value v))
+      fields
+
+let value_to_string v = Format.asprintf "%a" pp_value v
+
+let rec type_of_value = function
+  | F32 _ -> Fp32
+  | F64 _ -> Fp64
+  | I32 _ -> Int32
+  | I64 _ -> Int64
+  | B _ -> Bool
+  | C _ -> Char
+  | R fields -> Record (List.map (fun (name, v) -> (name, type_of_value v)) fields)
+
+let rec equal_ty a b =
+  match (a, b) with
+  | Fp32, Fp32 | Fp64, Fp64 | Int32, Int32 | Int64, Int64 | Bool, Bool | Char, Char
+    -> true
+  | Record fa, Record fb ->
+    List.length fa = List.length fb
+    && List.for_all2 (fun (na, ta) (nb, tb) -> String.equal na nb && equal_ty ta tb) fa fb
+  | (Fp32 | Fp64 | Int32 | Int64 | Bool | Char | Record _), _ -> false
+
+let rec size_bytes = function
+  | Fp32 | Int32 -> 4
+  | Fp64 | Int64 -> 8
+  | Bool | Char -> 1
+  | Record fields -> List.fold_left (fun acc (_, ty) -> acc + size_bytes ty) 0 fields
+
+let rec zero = function
+  | Fp32 -> F32 0.0
+  | Fp64 -> F64 0.0
+  | Int32 -> I32 0l
+  | Int64 -> I64 0L
+  | Bool -> B false
+  | Char -> C '\000'
+  | Record fields -> R (List.map (fun (name, ty) -> (name, zero ty)) fields)
+
+let round_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let f32 x = F32 (round_f32 x)
+let f64 x = F64 x
+let i32 x = I32 (Int32.of_int x)
+let i64 x = I64 (Int64.of_int x)
+let bool b = B b
+
+let to_float = function
+  | F32 x | F64 x -> x
+  | I32 x -> Int32.to_float x
+  | I64 x -> Int64.to_float x
+  | B b -> if b then 1.0 else 0.0
+  | C c -> float_of_int (Char.code c)
+  | R _ -> invalid_arg "Scalar.to_float: record value"
+
+let to_int = function
+  | I32 x -> Int32.to_int x
+  | I64 x -> Int64.to_int x
+  | B b -> if b then 1 else 0
+  | C c -> Char.code c
+  | F32 _ | F64 _ | R _ -> invalid_arg "Scalar.to_int: non-integral value"
+
+let field v name =
+  match v with
+  | R fields -> (
+    match List.assoc_opt name fields with
+    | Some x -> x
+    | None -> invalid_arg (Printf.sprintf "Scalar.field: no field %S" name))
+  | _ -> invalid_arg "Scalar.field: not a record"
+
+let set_field v name x =
+  match v with
+  | R fields ->
+    if not (List.mem_assoc name fields) then
+      invalid_arg (Printf.sprintf "Scalar.set_field: no field %S" name);
+    R (List.map (fun (n, old) -> if String.equal n name then (n, x) else (n, old)) fields)
+  | _ -> invalid_arg "Scalar.set_field: not a record"
+
+let rec equal a b =
+  match (a, b) with
+  | F32 x, F32 y | F64 x, F64 y -> Float.equal x y
+  | I32 x, I32 y -> Int32.equal x y
+  | I64 x, I64 y -> Int64.equal x y
+  | B x, B y -> Bool.equal x y
+  | C x, C y -> Char.equal x y
+  | R fa, R fb ->
+    List.length fa = List.length fb
+    && List.for_all2 (fun (na, va) (nb, vb) -> String.equal na nb && equal va vb) fa fb
+  | (F32 _ | F64 _ | I32 _ | I64 _ | B _ | C _ | R _), _ -> false
+
+let rec approx_equal ?rel ?abs a b =
+  match (a, b) with
+  | F32 x, F32 y | F64 x, F64 y -> Mdh_support.Util.float_equal ?rel ?abs x y
+  | R fa, R fb ->
+    List.length fa = List.length fb
+    && List.for_all2
+         (fun (na, va) (nb, vb) -> String.equal na nb && approx_equal ?rel ?abs va vb)
+         fa fb
+  | _ -> equal a b
+
+let type_mismatch op a b =
+  invalid_arg
+    (Printf.sprintf "Scalar.%s: type mismatch (%s, %s)" op (value_to_string a)
+       (value_to_string b))
+
+let arith op_name fi32 fi64 ff a b =
+  match (a, b) with
+  | F32 x, F32 y -> F32 (round_f32 (ff x y))
+  | F64 x, F64 y -> F64 (ff x y)
+  | I32 x, I32 y -> I32 (fi32 x y)
+  | I64 x, I64 y -> I64 (fi64 x y)
+  | _ -> type_mismatch op_name a b
+
+let add = arith "add" Int32.add Int64.add ( +. )
+let sub = arith "sub" Int32.sub Int64.sub ( -. )
+let mul = arith "mul" Int32.mul Int64.mul ( *. )
+let div = arith "div" Int32.div Int64.div ( /. )
+
+let compare_num a b =
+  match (a, b) with
+  | F32 x, F32 y | F64 x, F64 y -> Float.compare x y
+  | I32 x, I32 y -> Int32.compare x y
+  | I64 x, I64 y -> Int64.compare x y
+  | B x, B y -> Bool.compare x y
+  | C x, C y -> Char.compare x y
+  | _ -> type_mismatch "compare_num" a b
+
+let min_v a b = if compare_num a b <= 0 then a else b
+let max_v a b = if compare_num a b >= 0 then a else b
+
+let neg = function
+  | F32 x -> F32 (-.x)
+  | F64 x -> F64 (-.x)
+  | I32 x -> I32 (Int32.neg x)
+  | I64 x -> I64 (Int64.neg x)
+  | (B _ | C _ | R _) as v -> invalid_arg ("Scalar.neg: " ^ value_to_string v)

@@ -1,0 +1,83 @@
+(** Scalar (basic) types and dynamically-typed scalar values.
+
+    These correspond to the [BSC_TYP] nonterminal of the MDH directive
+    (Listing 14): [fp32], [fp64], [int32], [int64], [bool], [char], and
+    record types such as the [db18] structure used by the PRL data-mining
+    workload (Listing 11). *)
+
+type ty =
+  | Fp32
+  | Fp64
+  | Int32
+  | Int64
+  | Bool
+  | Char
+  | Record of (string * ty) list
+      (** Named fields; field order is significant for layout. *)
+
+type value =
+  | F32 of float  (** stored rounded to single precision *)
+  | F64 of float
+  | I32 of int32
+  | I64 of int64
+  | B of bool
+  | C of char
+  | R of (string * value) list
+
+val pp_ty : Format.formatter -> ty -> unit
+val ty_to_string : ty -> string
+val pp_value : Format.formatter -> value -> unit
+val value_to_string : value -> string
+
+val type_of_value : value -> ty
+val equal_ty : ty -> ty -> bool
+
+val size_bytes : ty -> int
+(** Storage size of one element; records are the sum of their fields. *)
+
+val zero : ty -> value
+(** Additive-identity-shaped default value of a type (0, 0.0, false, '\000',
+    all-zero record). *)
+
+val round_f32 : float -> float
+(** Round a float to the nearest representable single-precision value, as
+    fp32 arithmetic would. *)
+
+val f32 : float -> value
+val f64 : float -> value
+val i32 : int -> value
+val i64 : int -> value
+val bool : bool -> value
+
+val to_float : value -> float
+(** Numeric values as float; raises [Invalid_argument] on records. *)
+
+val to_int : value -> int
+(** Integral values as int; raises [Invalid_argument] otherwise. *)
+
+val field : value -> string -> value
+(** Record field projection; raises [Invalid_argument] if absent. *)
+
+val set_field : value -> string -> value -> value
+(** Functional record field update. *)
+
+val equal : value -> value -> bool
+(** Structural equality; exact on floats. *)
+
+val approx_equal : ?rel:float -> ?abs:float -> value -> value -> bool
+(** Tolerant equality: floats compared with [Util.float_equal], other types
+    structurally; records field-wise. *)
+
+(* Type-directed arithmetic used by the expression evaluator. Integer
+   operations wrap; fp32 operations round each intermediate result to single
+   precision. All raise [Invalid_argument] on type mismatches. *)
+
+val add : value -> value -> value
+val sub : value -> value -> value
+val mul : value -> value -> value
+val div : value -> value -> value
+val min_v : value -> value -> value
+val max_v : value -> value -> value
+val neg : value -> value
+val compare_num : value -> value -> int
+(** Numeric ordering; raises on records and mixed types. *)

@@ -1,0 +1,1 @@
+lib/workloads/catalog.ml: Ccsdt Deep_learning Linalg List Mbbs Prl Stencils String Workload

@@ -1,0 +1,1 @@
+lib/workloads/deep_learning.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/mbbs.ml: Mdh_combine Mdh_directive Mdh_expr Mdh_support Mdh_tensor Workload

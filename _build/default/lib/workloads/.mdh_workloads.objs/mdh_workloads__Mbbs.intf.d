@@ -1,0 +1,1 @@
+lib/workloads/mbbs.mli: Workload

@@ -1,0 +1,1 @@
+lib/workloads/prl.ml: Array List Mdh_combine Mdh_directive Mdh_expr Mdh_support Mdh_tensor Option Workload

@@ -1,0 +1,1 @@
+lib/workloads/prl.mli: Mdh_combine Mdh_tensor Workload

@@ -1,0 +1,1 @@
+lib/workloads/stencils.mli: Workload

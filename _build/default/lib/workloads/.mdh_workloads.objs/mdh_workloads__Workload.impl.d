@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: List Mdh_core Mdh_directive Mdh_support Mdh_tensor Printf

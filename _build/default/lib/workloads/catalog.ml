@@ -1,0 +1,12 @@
+let figure3 =
+  [ Linalg.dot; Linalg.matvec; Linalg.matmul; Linalg.matmul_t; Linalg.bmatmul;
+    Stencils.gaussian_2d; Stencils.jacobi_3d; Prl.prl; Ccsdt.ccsdt;
+    Deep_learning.mcc; Deep_learning.mcc_caps ]
+
+let all = figure3 @ [ Mbbs.mbbs; Stencils.jacobi_1d ]
+
+let find name =
+  let lname = String.lowercase_ascii name in
+  List.find_opt
+    (fun (w : Workload.t) -> String.lowercase_ascii w.Workload.wl_name = lname)
+    all

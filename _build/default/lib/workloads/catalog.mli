@@ -1,0 +1,10 @@
+(** The full case-study catalogue. *)
+
+val figure3 : Workload.t list
+(** The eleven computations of Figure 3, in the figure's row order. *)
+
+val all : Workload.t list
+(** [figure3] plus MBBS. *)
+
+val find : string -> Workload.t option
+(** Case-insensitive lookup by [wl_name]. *)

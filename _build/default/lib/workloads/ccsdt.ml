@@ -1,0 +1,74 @@
+module Scalar = Mdh_tensor.Scalar
+module Dense = Mdh_tensor.Dense
+module Buffer = Mdh_tensor.Buffer
+module Combine = Mdh_combine.Combine
+module Expr = Mdh_expr.Expr
+module D = Mdh_directive.Directive
+module Rng = Mdh_support.Rng
+
+let p = Workload.p
+let fadd = Combine.add Scalar.Fp32
+
+let dims = [ "h3"; "h2"; "h1"; "p6"; "p5"; "p4"; "h7" ]
+
+let make params =
+  let e name = p params name in
+  let nest =
+    List.fold_right
+      (fun d acc -> D.for_ d (e d) acc)
+      dims
+      (D.body
+         [ D.assign "out"
+             Expr.[ idx "h3"; idx "h2"; idx "h1"; idx "p6"; idx "p5"; idx "p4" ]
+             Expr.(
+               read "t2" [ idx "h7"; idx "p4"; idx "p5"; idx "h1" ]
+               * read "v2" [ idx "h3"; idx "h2"; idx "p6"; idx "h7" ]) ])
+  in
+  D.make ~name:"CCSD(T)"
+    ~out:[ D.buffer "out" Scalar.Fp32 ]
+    ~inp:[ D.buffer "t2" Scalar.Fp32; D.buffer "v2" Scalar.Fp32 ]
+    ~combine_ops:
+      [ Combine.cc; Combine.cc; Combine.cc; Combine.cc; Combine.cc; Combine.cc;
+        Combine.pw fadd ]
+    nest
+
+let gen params ~seed =
+  let e name = p params name in
+  let rng = Rng.create seed in
+  Buffer.env_of_list
+    [ Workload.float_buffer "t2" rng [| e "h7"; e "p4"; e "p5"; e "h1" |];
+      Workload.float_buffer "v2" rng [| e "h3"; e "h2"; e "p6"; e "h7" |] ]
+
+let get_f env name idx =
+  Scalar.to_float (Dense.get (Buffer.data (Buffer.env_find env name)) idx)
+
+let reference params env =
+  let e name = p params name in
+  let out =
+    Dense.of_fn Scalar.Fp32 [| e "h3"; e "h2"; e "h1"; e "p6"; e "p5"; e "p4" |]
+      (fun idx ->
+        let acc = ref 0.0 in
+        for h7 = 0 to e "h7" - 1 do
+          acc :=
+            Scalar.round_f32
+              (!acc
+              +. Scalar.round_f32
+                   (get_f env "t2" [| h7; idx.(5); idx.(4); idx.(2) |]
+                   *. get_f env "v2" [| idx.(0); idx.(1); idx.(3); h7 |]))
+        done;
+        Scalar.f32 !acc)
+  in
+  Buffer.env_add env (Buffer.of_dense "out" out)
+
+let ccsdt =
+  { Workload.wl_name = "CCSD(T)"; domain = "Quantum Chem."; basic_type = "fp32"; make;
+    paper_inputs =
+      [ ("1",
+         [ ("h3", 24); ("h2", 16); ("h1", 16); ("p6", 24); ("p5", 16); ("p4", 16);
+           ("h7", 24) ]);
+        ("2",
+         [ ("h3", 24); ("h2", 16); ("h1", 16); ("p6", 24); ("p5", 24); ("p4", 16);
+           ("h7", 16) ]) ];
+    test_params =
+      [ ("h3", 3); ("h2", 2); ("h1", 3); ("p6", 2); ("p5", 3); ("p4", 2); ("h7", 4) ];
+    gen; reference = Some reference }

@@ -1,0 +1,14 @@
+(** CCSD(T) — the quantum-chemistry case study (Figure 3): one of the
+    7-dimensional tensor contractions from the coupled-cluster triples
+    correction (the sd_t_d1-style kernels of Kim et al., CGO '19 [23]):
+
+    {v out[h3,h2,h1,p6,p5,p4] += t2[h7,p4,p5,h1] * v2[h3,h2,p6,h7] v}
+
+    Six concatenation dimensions and one summed dimension (h7). This is the
+    computation on which OpenACC is >150x slower than MDH without manual
+    tiling (Section 5.2), because a 7D nest with one reduction needs
+    aggressive tiling and full-device parallelisation to run well. For
+    input 2, Figure 3's printed operand shapes (24x16x24x16 for both
+    operands) force h7 = 16; the remaining extents follow the same kernel. *)
+
+val ccsdt : Workload.t

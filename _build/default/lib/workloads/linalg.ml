@@ -1,0 +1,212 @@
+module Scalar = Mdh_tensor.Scalar
+module Dense = Mdh_tensor.Dense
+module Buffer = Mdh_tensor.Buffer
+module Combine = Mdh_combine.Combine
+module Expr = Mdh_expr.Expr
+module D = Mdh_directive.Directive
+module Rng = Mdh_support.Rng
+
+let p = Workload.p
+let fadd = Combine.add Scalar.Fp32
+
+let get_f env name idx = Scalar.to_float (Dense.get (Buffer.data (Buffer.env_find env name)) idx)
+
+let out_f32 name shape f =
+  Buffer.of_dense name (Dense.of_fn Scalar.Fp32 shape (fun idx -> Scalar.f32 (f idx)))
+
+(* --- Dot --- *)
+
+let dot =
+  let make params =
+    let k = p params "K" in
+    D.make ~name:"Dot"
+      ~out:[ D.buffer "r" Scalar.Fp32 ]
+      ~inp:[ D.buffer "x" Scalar.Fp32; D.buffer "y" Scalar.Fp32 ]
+      ~combine_ops:[ Combine.pw fadd ]
+      (D.for_ "k" k
+         (D.body
+            [ D.assign "r" [ Expr.int 0 ]
+                Expr.(read "x" [ idx "k" ] * read "y" [ idx "k" ]) ]))
+  in
+  let gen params ~seed =
+    let k = p params "K" in
+    let rng = Rng.create seed in
+    Buffer.env_of_list
+      [ Workload.float_buffer "x" rng [| k |]; Workload.float_buffer "y" rng [| k |] ]
+  in
+  let reference params env =
+    let k = p params "K" in
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      acc := Scalar.round_f32 (!acc +. Scalar.round_f32 (get_f env "x" [| i |] *. get_f env "y" [| i |]))
+    done;
+    Buffer.env_add env (out_f32 "r" [| 1 |] (fun _ -> !acc))
+  in
+  { Workload.wl_name = "Dot"; domain = "Simulation"; basic_type = "fp32"; make;
+    paper_inputs = [ ("1", [ ("K", 1 lsl 24) ]); ("2", [ ("K", 10_000_000) ]) ];
+    test_params = [ ("K", 37) ]; gen; reference = Some reference }
+
+(* --- MatVec (Listing 8) --- *)
+
+let matvec =
+  let make params =
+    let i = p params "I" and k = p params "K" in
+    D.make ~name:"MatVec"
+      ~out:[ D.buffer "w" Scalar.Fp32 ]
+      ~inp:[ D.buffer "M" Scalar.Fp32; D.buffer "v" Scalar.Fp32 ]
+      ~combine_ops:[ Combine.cc; Combine.pw fadd ]
+      (D.for_ "i" i
+         (D.for_ "k" k
+            (D.body
+               [ D.assign "w" [ Expr.idx "i" ]
+                   Expr.(read "M" [ idx "i"; idx "k" ] * read "v" [ idx "k" ]) ])))
+  in
+  let gen params ~seed =
+    let i = p params "I" and k = p params "K" in
+    let rng = Rng.create seed in
+    Buffer.env_of_list
+      [ Workload.float_buffer "M" rng [| i; k |]; Workload.float_buffer "v" rng [| k |] ]
+  in
+  let reference params env =
+    let i = p params "I" and k = p params "K" in
+    Buffer.env_add env
+      (out_f32 "w" [| i |] (fun idx ->
+           let acc = ref 0.0 in
+           for c = 0 to k - 1 do
+             acc :=
+               Scalar.round_f32
+                 (!acc +. Scalar.round_f32 (get_f env "M" [| idx.(0); c |] *. get_f env "v" [| c |]))
+           done;
+           !acc))
+  in
+  { Workload.wl_name = "MatVec"; domain = "Simulation"; basic_type = "fp32"; make;
+    paper_inputs =
+      [ ("1", [ ("I", 4096); ("K", 4096) ]); ("2", [ ("I", 8192); ("K", 8192) ]) ];
+    test_params = [ ("I", 7); ("K", 9) ]; gen; reference = Some reference }
+
+(* --- MatMul (Listing 9) --- *)
+
+let matmul =
+  let make params =
+    let i = p params "I" and j = p params "J" and k = p params "K" in
+    D.make ~name:"MatMul"
+      ~out:[ D.buffer "C" Scalar.Fp32 ]
+      ~inp:[ D.buffer "A" Scalar.Fp32; D.buffer "B" Scalar.Fp32 ]
+      ~combine_ops:[ Combine.cc; Combine.cc; Combine.pw fadd ]
+      (D.for_ "i" i
+         (D.for_ "j" j
+            (D.for_ "k" k
+               (D.body
+                  [ D.assign "C" [ Expr.idx "i"; Expr.idx "j" ]
+                      Expr.(read "A" [ idx "i"; idx "k" ] * read "B" [ idx "k"; idx "j" ]) ]))))
+  in
+  let gen params ~seed =
+    let i = p params "I" and j = p params "J" and k = p params "K" in
+    let rng = Rng.create seed in
+    Buffer.env_of_list
+      [ Workload.float_buffer "A" rng [| i; k |]; Workload.float_buffer "B" rng [| k; j |] ]
+  in
+  let reference params env =
+    let j = p params "J" and k = p params "K" and i = p params "I" in
+    Buffer.env_add env
+      (out_f32 "C" [| i; j |] (fun idx ->
+           let acc = ref 0.0 in
+           for c = 0 to k - 1 do
+             acc :=
+               Scalar.round_f32
+                 (!acc
+                 +. Scalar.round_f32 (get_f env "A" [| idx.(0); c |] *. get_f env "B" [| c; idx.(1) |]))
+           done;
+           !acc))
+  in
+  { Workload.wl_name = "MatMul"; domain = "Simulation/Deep Learning"; basic_type = "fp32";
+    make;
+    paper_inputs =
+      [ ("1", [ ("I", 1024); ("J", 1024); ("K", 1024) ]);
+        ("2", [ ("I", 1); ("J", 1000); ("K", 2048) ]) ];
+    test_params = [ ("I", 5); ("J", 6); ("K", 7) ]; gen; reference = Some reference }
+
+(* --- MatMul^T --- *)
+
+let matmul_t =
+  let make params =
+    let i = p params "I" and j = p params "J" and k = p params "K" in
+    D.make ~name:"MatMul^T"
+      ~out:[ D.buffer "C" Scalar.Fp32 ]
+      ~inp:[ D.buffer "A" Scalar.Fp32; D.buffer "B" Scalar.Fp32 ]
+      ~combine_ops:[ Combine.cc; Combine.cc; Combine.pw fadd ]
+      (D.for_ "i" i
+         (D.for_ "j" j
+            (D.for_ "k" k
+               (D.body
+                  [ D.assign "C" [ Expr.idx "i"; Expr.idx "j" ]
+                      Expr.(read "A" [ idx "k"; idx "i" ] * read "B" [ idx "j"; idx "k" ]) ]))))
+  in
+  let gen params ~seed =
+    let i = p params "I" and j = p params "J" and k = p params "K" in
+    let rng = Rng.create seed in
+    Buffer.env_of_list
+      [ Workload.float_buffer "A" rng [| k; i |]; Workload.float_buffer "B" rng [| j; k |] ]
+  in
+  let reference params env =
+    let j = p params "J" and k = p params "K" and i = p params "I" in
+    Buffer.env_add env
+      (out_f32 "C" [| i; j |] (fun idx ->
+           let acc = ref 0.0 in
+           for c = 0 to k - 1 do
+             acc :=
+               Scalar.round_f32
+                 (!acc
+                 +. Scalar.round_f32 (get_f env "A" [| c; idx.(0) |] *. get_f env "B" [| idx.(1); c |]))
+           done;
+           !acc))
+  in
+  { Workload.wl_name = "MatMul^T"; domain = "Deep Learning"; basic_type = "fp32"; make;
+    paper_inputs = [ ("1", [ ("I", 10); ("J", 500); ("K", 64) ]) ];
+    test_params = [ ("I", 4); ("J", 5); ("K", 6) ]; gen; reference = Some reference }
+
+(* --- bMatMul --- *)
+
+let bmatmul =
+  let make params =
+    let b = p params "B" and i = p params "I" and j = p params "J" and k = p params "K" in
+    D.make ~name:"bMatMul"
+      ~out:[ D.buffer "C" Scalar.Fp32 ]
+      ~inp:[ D.buffer "A" Scalar.Fp32; D.buffer "Bm" Scalar.Fp32 ]
+      ~combine_ops:[ Combine.cc; Combine.cc; Combine.cc; Combine.pw fadd ]
+      (D.for_ "b" b
+         (D.for_ "i" i
+            (D.for_ "j" j
+               (D.for_ "k" k
+                  (D.body
+                     [ D.assign "C" [ Expr.idx "b"; Expr.idx "i"; Expr.idx "j" ]
+                         Expr.(
+                           read "A" [ idx "b"; idx "i"; idx "k" ]
+                           * read "Bm" [ idx "b"; idx "k"; idx "j" ]) ])))))
+  in
+  let gen params ~seed =
+    let b = p params "B" and i = p params "I" and j = p params "J" and k = p params "K" in
+    let rng = Rng.create seed in
+    Buffer.env_of_list
+      [ Workload.float_buffer "A" rng [| b; i; k |];
+        Workload.float_buffer "Bm" rng [| b; k; j |] ]
+  in
+  let reference params env =
+    let b = p params "B" and i = p params "I" and j = p params "J" and k = p params "K" in
+    Buffer.env_add env
+      (out_f32 "C" [| b; i; j |] (fun idx ->
+           let acc = ref 0.0 in
+           for c = 0 to k - 1 do
+             acc :=
+               Scalar.round_f32
+                 (!acc
+                 +. Scalar.round_f32
+                      (get_f env "A" [| idx.(0); idx.(1); c |]
+                      *. get_f env "Bm" [| idx.(0); c; idx.(2) |]))
+           done;
+           !acc))
+  in
+  { Workload.wl_name = "bMatMul"; domain = "Deep Learning"; basic_type = "fp32"; make;
+    paper_inputs = [ ("1", [ ("B", 16); ("I", 10); ("J", 500); ("K", 64) ]) ];
+    test_params = [ ("B", 3); ("I", 4); ("J", 5); ("K", 6) ]; gen;
+    reference = Some reference }

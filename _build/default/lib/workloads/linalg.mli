@@ -1,0 +1,20 @@
+(** Linear-algebra case studies: Dot, MatVec, MatMul, MatMul^T, bMatMul
+    (Figure 3, "Simulation" and "Deep Learning" rows). *)
+
+val dot : Workload.t
+(** [r = sum_k x[k] * y[k]] — 1D, reduction-only: the computation PPCG
+    cannot map to a GPU and polyhedral compilers cannot optimise
+    (Section 5.2). *)
+
+val matvec : Workload.t
+(** Listing 8: [w[i] = sum_k M[i,k] * v[k]]. *)
+
+val matmul : Workload.t
+(** Listing 9: [C[i,j] = sum_k A[i,k] * B[k,j]]. *)
+
+val matmul_t : Workload.t
+(** Transposed-A variant from the deep-learning traces:
+    [C[i,j] = sum_k A[k,i] * B[j,k]]. *)
+
+val bmatmul : Workload.t
+(** Batched: [C[b,i,j] = sum_k A[b,i,k] * B[b,k,j]]. *)

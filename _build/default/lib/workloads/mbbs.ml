@@ -1,0 +1,44 @@
+module Scalar = Mdh_tensor.Scalar
+module Dense = Mdh_tensor.Dense
+module Buffer = Mdh_tensor.Buffer
+module Combine = Mdh_combine.Combine
+module Expr = Mdh_expr.Expr
+module D = Mdh_directive.Directive
+module Rng = Mdh_support.Rng
+
+let p = Workload.p
+
+let make params =
+  let i = p params "I" and j = p params "J" in
+  D.make ~name:"MBBS"
+    ~out:[ D.buffer "b" Scalar.Fp32 ]
+    ~inp:[ D.buffer "a" Scalar.Fp32 ]
+    ~combine_ops:[ Combine.ps (Combine.add Scalar.Fp32); Combine.cc ]
+    (D.for_ "i" i
+       (D.for_ "j" j
+          (D.body
+             [ D.assign "b" [ Expr.idx "i"; Expr.idx "j" ]
+                 (Expr.read "a" [ Expr.idx "i"; Expr.idx "j" ]) ])))
+
+let gen params ~seed =
+  let i = p params "I" and j = p params "J" in
+  let rng = Rng.create seed in
+  Buffer.env_of_list [ Workload.float_buffer "a" rng [| i; j |] ]
+
+let reference params env =
+  let i = p params "I" and j = p params "J" in
+  let a = Buffer.data (Buffer.env_find env "a") in
+  let out = Dense.create Scalar.Fp32 [| i; j |] in
+  for col = 0 to j - 1 do
+    let acc = ref 0.0 in
+    for row = 0 to i - 1 do
+      acc := Scalar.round_f32 (!acc +. Scalar.to_float (Dense.get a [| row; col |]));
+      Dense.set out [| row; col |] (Scalar.f32 !acc)
+    done
+  done;
+  Buffer.env_add env (Buffer.of_dense "b" out)
+
+let mbbs =
+  { Workload.wl_name = "MBBS"; domain = "Data Analytics"; basic_type = "fp32"; make;
+    paper_inputs = [ ("1", [ ("I", 4096); ("J", 4096) ]) ];
+    test_params = [ ("I", 8); ("J", 5) ]; gen; reference = Some reference }

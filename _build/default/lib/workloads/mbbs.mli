@@ -1,0 +1,13 @@
+(** Maximum Bottom Box Sum (MBBS; Farzan & Nicolet, PLDI '19 [14] /
+    Listing 13): prefix sums over accumulated column vectors of a matrix,
+    the case study whose reduction operator is [ps] (prefix sum) rather
+    than [cc]/[pw] — keeping the reduction dimension's extent instead of
+    collapsing it.
+
+    {v b[i,j] = sum over i' <= i of a[i',j] v}
+
+    Not part of Figure 3/4; included as the expressiveness example that TVM
+    rejects ("Invalid comm_reducer", Section 5.2) and exercised by the
+    failure-matrix bench and the prefix-sum example. *)
+
+val mbbs : Workload.t

@@ -1,0 +1,145 @@
+module Scalar = Mdh_tensor.Scalar
+module Dense = Mdh_tensor.Dense
+module Buffer = Mdh_tensor.Buffer
+module Combine = Mdh_combine.Combine
+module Expr = Mdh_expr.Expr
+module D = Mdh_directive.Directive
+module Rng = Mdh_support.Rng
+
+let p = Workload.p
+
+let get_f env name idx =
+  Scalar.to_float (Dense.get (Buffer.data (Buffer.env_find env name)) idx)
+
+let out_f32 name shape f =
+  Buffer.of_dense name (Dense.of_fn Scalar.Fp32 shape (fun idx -> Scalar.f32 (f idx)))
+
+(* --- Gaussian 2D: 3x3 blur with 1-2-1 weights --- *)
+
+let gaussian_weight di dj =
+  let w = function 0 -> 2.0 | _ -> 1.0 in
+  w di *. w dj /. 16.0
+
+let gaussian_2d =
+  let make params =
+    let n = p params "N" and m = p params "M" in
+    let term di dj =
+      let w = gaussian_weight (di - 1) (dj - 1) in
+      Expr.(f32 w * read "img" [ idx "i" + int di; idx "j" + int dj ])
+    in
+    let sum =
+      List.fold_left
+        (fun acc (di, dj) -> Expr.(acc + term di dj))
+        (term 0 0)
+        [ (0, 1); (0, 2); (1, 0); (1, 1); (1, 2); (2, 0); (2, 1); (2, 2) ]
+    in
+    D.make ~name:"Gaussian_2D"
+      ~out:[ D.buffer "blur" Scalar.Fp32 ]
+      ~inp:[ D.buffer "img" Scalar.Fp32 ]
+      ~combine_ops:[ Combine.cc; Combine.cc ]
+      (D.for_ "i" n
+         (D.for_ "j" m (D.body [ D.assign "blur" [ Expr.idx "i"; Expr.idx "j" ] sum ])))
+  in
+  let gen params ~seed =
+    let n = p params "N" and m = p params "M" in
+    let rng = Rng.create seed in
+    Buffer.env_of_list [ Workload.float_buffer "img" rng [| n + 2; m + 2 |] ]
+  in
+  let reference params env =
+    let n = p params "N" and m = p params "M" in
+    Buffer.env_add env
+      (out_f32 "blur" [| n; m |] (fun idx ->
+           let acc = ref 0.0 in
+           for di = 0 to 2 do
+             for dj = 0 to 2 do
+               acc :=
+                 !acc
+                 +. (gaussian_weight (di - 1) (dj - 1)
+                    *. get_f env "img" [| idx.(0) + di; idx.(1) + dj |])
+             done
+           done;
+           !acc))
+  in
+  { Workload.wl_name = "Gaussian_2D"; domain = "Image Processing"; basic_type = "fp32";
+    make;
+    paper_inputs =
+      [ ("1", [ ("N", 224); ("M", 224) ]); ("2", [ ("N", 4096); ("M", 4096) ]) ];
+    test_params = [ ("N", 6); ("M", 5) ]; gen; reference = Some reference }
+
+(* --- Jacobi 1D (Listing 10) --- *)
+
+let jacobi_1d =
+  let make params =
+    let n = p params "N" in
+    D.make ~name:"Jacobi1D"
+      ~out:[ D.buffer "y" Scalar.Fp32 ]
+      ~inp:[ D.buffer "x" Scalar.Fp32 ]
+      ~combine_ops:[ Combine.cc ]
+      (D.for_ "i" n
+         (D.body
+            [ D.assign "y" [ Expr.idx "i" ]
+                Expr.(
+                  f32 (1.0 /. 3.0)
+                  * (read "x" [ idx "i" ] + read "x" [ idx "i" + int 1 ]
+                    + read "x" [ idx "i" + int 2 ])) ]))
+  in
+  let gen params ~seed =
+    let n = p params "N" in
+    let rng = Rng.create seed in
+    Buffer.env_of_list [ Workload.float_buffer "x" rng [| n + 2 |] ]
+  in
+  let reference params env =
+    let n = p params "N" in
+    Buffer.env_add env
+      (out_f32 "y" [| n |] (fun idx ->
+           let at o = get_f env "x" [| idx.(0) + o |] in
+           1.0 /. 3.0 *. (at 0 +. at 1 +. at 2)))
+  in
+  { Workload.wl_name = "Jacobi1D"; domain = "Simulation"; basic_type = "fp32"; make;
+    paper_inputs = [ ("1", [ ("N", 100_000_000) ]) ];
+    test_params = [ ("N", 11) ]; gen; reference = Some reference }
+
+(* --- Jacobi 3D: 7-point sweep --- *)
+
+let jacobi_3d =
+  let make params =
+    let n = p params "N" in
+    let at di dj dk =
+      Expr.(read "grid" [ idx "i" + int di; idx "j" + int dj; idx "k" + int dk ])
+    in
+    let sum =
+      Expr.(
+        at 1 1 1 + at 0 1 1 + at 2 1 1 + at 1 0 1 + at 1 2 1 + at 1 1 0 + at 1 1 2)
+    in
+    D.make ~name:"Jacobi_3D"
+      ~out:[ D.buffer "next" Scalar.Fp32 ]
+      ~inp:[ D.buffer "grid" Scalar.Fp32 ]
+      ~combine_ops:[ Combine.cc; Combine.cc; Combine.cc ]
+      (D.for_ "i" n
+         (D.for_ "j" n
+            (D.for_ "k" n
+               (D.body
+                  [ D.assign "next"
+                      [ Expr.idx "i"; Expr.idx "j"; Expr.idx "k" ]
+                      Expr.(f32 (1.0 /. 7.0) * sum) ]))))
+  in
+  let gen params ~seed =
+    let n = p params "N" in
+    let rng = Rng.create seed in
+    Buffer.env_of_list [ Workload.float_buffer "grid" rng [| n + 2; n + 2; n + 2 |] ]
+  in
+  let reference params env =
+    let n = p params "N" in
+    Buffer.env_add env
+      (out_f32 "next" [| n; n; n |] (fun idx ->
+           let at di dj dk =
+             get_f env "grid" [| idx.(0) + di; idx.(1) + dj; idx.(2) + dk |]
+           in
+           Scalar.round_f32
+             (Scalar.round_f32 (1.0 /. 7.0)
+             *. (at 1 1 1 +. at 0 1 1 +. at 2 1 1 +. at 1 0 1 +. at 1 2 1 +. at 1 1 0
+                +. at 1 1 2))))
+  in
+  { Workload.wl_name = "Jacobi_3D"; domain = "Simulation"; basic_type = "fp32"; make;
+    paper_inputs = [ ("1", [ ("N", 254) ]); ("2", [ ("N", 510) ]) ];
+    test_params = [ ("N", 5) ]; gen; reference = Some reference }

@@ -1,0 +1,17 @@
+(** Stencil case studies: Gaussian 2D and Jacobi 3D (Figure 3, "Image
+    Processing" / "Simulation"). Both are reduction-free ([cc] on every
+    dimension, blank "Red. Dim." cells in Figure 3): the stencil's weighted
+    sum is unrolled inside the scalar function, with one textual access per
+    stencil point (the #ACC counting of Listing 14). Inputs are padded by
+    the stencil radius, following Listing 10. *)
+
+val gaussian_2d : Workload.t
+(** 3x3 Gaussian blur, weights 1-2-1 / 16. *)
+
+val jacobi_3d : Workload.t
+(** 7-point Jacobi sweep: mean of the six face neighbours and the centre. *)
+
+val jacobi_1d : Workload.t
+(** Listing 10 verbatim: [y[i] = 1/3 * (x[i] + x[i+1] + x[i+2])]. Not part
+    of Figure 3 (the figure's stencils are Gaussian 2D and Jacobi 3D);
+    kept as the paper's introductory stencil example. *)

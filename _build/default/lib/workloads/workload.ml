@@ -1,0 +1,35 @@
+module Scalar = Mdh_tensor.Scalar
+module Shape = Mdh_tensor.Shape
+module Dense = Mdh_tensor.Dense
+module Buffer = Mdh_tensor.Buffer
+module Rng = Mdh_support.Rng
+
+type params = (string * int) list
+
+type t = {
+  wl_name : string;
+  domain : string;
+  basic_type : string;
+  make : params -> Mdh_directive.Directive.t;
+  paper_inputs : (string * params) list;
+  test_params : params;
+  gen : params -> seed:int -> Buffer.env;
+  reference : (params -> Buffer.env -> Buffer.env) option;
+}
+
+let p params name =
+  match List.assoc_opt name params with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "workload: missing parameter %S" name)
+
+let to_md_hom t params = Mdh_directive.Transform.to_md_hom_exn (t.make params)
+
+let float_buffer name rng shape =
+  Buffer.of_dense name
+    (Dense.of_fn Scalar.Fp32 shape (fun _ -> Scalar.f32 ((Rng.float rng 2.0) -. 1.0)))
+
+let sizes_strings t params =
+  let md = to_md_hom t params in
+  List.map
+    (fun (i : Mdh_core.Md_hom.input) -> Shape.to_string i.inp_shape)
+    md.Mdh_core.Md_hom.inputs

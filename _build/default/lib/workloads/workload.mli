@@ -1,0 +1,35 @@
+(** The case-study catalogue of Figure 3.
+
+    A workload packages: a parametric MDH-directive program, the paper's two
+    input-size configurations, a small configuration for correctness tests,
+    a seeded input generator, and (where practical) an independent
+    hand-written oracle. *)
+
+type params = (string * int) list
+
+type t = {
+  wl_name : string;  (** Figure 3 "Computation" *)
+  domain : string;  (** Figure 3 "Domain" *)
+  basic_type : string;  (** Figure 3 "Basic Type" *)
+  make : params -> Mdh_directive.Directive.t;
+      (** Raises [Invalid_argument] on missing parameters. *)
+  paper_inputs : (string * params) list;  (** Figure 3 "No." -> sizes *)
+  test_params : params;  (** small sizes for correctness testing *)
+  gen : params -> seed:int -> Mdh_tensor.Buffer.env;
+      (** deterministic input buffers matching the directive's inp clause *)
+  reference : (params -> Mdh_tensor.Buffer.env -> Mdh_tensor.Buffer.env) option;
+      (** independent oracle extending the env with expected outputs *)
+}
+
+val p : params -> string -> int
+(** Parameter lookup; raises [Invalid_argument] naming the parameter. *)
+
+val to_md_hom : t -> params -> Mdh_core.Md_hom.t
+(** Build, validate and transform the workload's directive. *)
+
+val float_buffer :
+  string -> Mdh_support.Rng.t -> Mdh_tensor.Shape.t -> Mdh_tensor.Buffer.t
+(** fp32 buffer with uniform values in [-1, 1). *)
+
+val sizes_strings : t -> params -> string list
+(** The Figure 3 "Sizes" cells: one entry per input buffer. *)

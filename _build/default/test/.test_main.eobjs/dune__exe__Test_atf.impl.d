@@ -1,0 +1,1 @@
+test/test_atf.ml: Alcotest Fun List Mdh_atf Mdh_lowering Mdh_machine Mdh_support Mdh_workloads Option Param Search Space Tuner

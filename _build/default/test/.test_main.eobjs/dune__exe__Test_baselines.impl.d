@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Common List Mdh_baselines Mdh_core Mdh_lowering Mdh_machine Mdh_workloads Numba Openacc Openmp Polyhedral Printf Registry Tvm Vendor

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Host Kernel List Mdh_codegen Mdh_lowering Mdh_machine Mdh_workloads Openmp_c Printf Str_replace String Test_util

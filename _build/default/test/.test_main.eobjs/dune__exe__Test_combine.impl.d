@@ -1,0 +1,1 @@
+test/test_combine.ml: Alcotest Array Combine List Mdh_combine Mdh_tensor QCheck2 QCheck_alcotest Test_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Md_hom Mdh_combine Mdh_core Mdh_directive Mdh_expr Mdh_support Mdh_tensor Option Printf QCheck2 QCheck_alcotest Semantics Test_util

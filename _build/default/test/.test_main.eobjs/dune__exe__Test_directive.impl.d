@@ -1,0 +1,1 @@
+test/test_directive.ml: Alcotest Directive Format List Mdh_combine Mdh_core Mdh_directive Mdh_expr Mdh_tensor Option Test_util Transform Validate

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Analysis Array Eval Expr List Mdh_expr Mdh_tensor QCheck2 QCheck_alcotest Result Test_util Typecheck

@@ -1,0 +1,1 @@
+test/test_lowering.ml: Alcotest Array Cost Footprint List Lower Mdh_combine Mdh_core Mdh_lowering Mdh_machine Mdh_tensor Mdh_workloads Plan Printf Result Schedule Simulate

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Device List Mdh_machine Roofline

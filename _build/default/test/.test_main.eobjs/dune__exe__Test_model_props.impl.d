@@ -1,0 +1,1 @@
+test/test_model_props.ml: Array Float Fun List Mdh_atf Mdh_core Mdh_lowering Mdh_machine Mdh_support Mdh_workloads QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_reports.ml: Alcotest Failures Figure3 Figure4 Lazy List Mdh_machine Mdh_reports Mdh_support Portability Printf Prl_study String Transfer_study

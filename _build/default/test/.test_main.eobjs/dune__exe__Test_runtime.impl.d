@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Exec Format Kernels List Mdh_core Mdh_lowering Mdh_runtime Mdh_support Mdh_tensor Mdh_workloads Pool Printf String

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Fun List Mdh_support QCheck2 QCheck_alcotest Rng Stats Table Test_util Util

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Buffer Dense Hashtbl Index_fn List Mdh_support Mdh_tensor QCheck2 QCheck_alcotest Scalar Shape Test_util

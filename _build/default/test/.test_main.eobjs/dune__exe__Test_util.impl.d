@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Mdh_tensor String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Mdh_combine Mdh_core Mdh_directive Mdh_support Mdh_tensor Mdh_workloads Test_util

@@ -1,0 +1,170 @@
+(* Tests for the ATF auto-tuner: parameter spaces, search strategies,
+   schedule tuning. *)
+
+module W = Mdh_workloads.Workload
+module Device = Mdh_machine.Device
+module Cost = Mdh_lowering.Cost
+module Schedule = Mdh_lowering.Schedule
+open Mdh_atf
+
+let check = Alcotest.check
+
+let cpu = Device.xeon6140_like
+
+(* a small space with a genuine interdependence: y <= x *)
+let dependent_space () =
+  Space.make
+    [ Param.independent "x" [ 1; 2; 3 ];
+      Param.dependent "y" (fun config ->
+          List.filter (fun v -> v <= Param.value config "x") [ 1; 2; 3 ]) ]
+
+let test_enumerate_respects_constraints () =
+  let configs = Space.enumerate (dependent_space ()) in
+  check Alcotest.int "count" 6 (List.length configs);
+  List.iter
+    (fun c ->
+      check Alcotest.bool "y <= x" true (Param.value c "y" <= Param.value c "x"))
+    configs
+
+let test_enumerate_cap () =
+  let sp = Space.make [ Param.independent "x" (List.init 1000 Fun.id) ] in
+  check Alcotest.int "capped" 10 (List.length (Space.enumerate ~cap:10 sp))
+
+let test_duplicate_params_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Space.make: duplicate parameter names")
+    (fun () -> ignore (Space.make [ Param.independent "x" [ 1 ]; Param.independent "x" [ 2 ] ]))
+
+let test_sample_valid () =
+  let sp = dependent_space () in
+  let rng = Mdh_support.Rng.create 3 in
+  for _ = 1 to 100 do
+    match Space.sample sp rng with
+    | None -> Alcotest.fail "dead end in a live space"
+    | Some c -> check Alcotest.bool "valid" true (Param.value c "y" <= Param.value c "x")
+  done
+
+let test_sample_dead_end () =
+  let sp =
+    Space.make
+      [ Param.independent "x" [ 1 ];
+        Param.dependent "y" (fun _ -> []) ]
+  in
+  check Alcotest.bool "dead end" true (Space.sample sp (Mdh_support.Rng.create 1) = None)
+
+let test_neighbour_stays_valid () =
+  let sp = dependent_space () in
+  let rng = Mdh_support.Rng.create 5 in
+  let config = ref (Option.get (Space.sample sp rng)) in
+  for _ = 1 to 200 do
+    config := Space.neighbour sp rng !config;
+    check Alcotest.bool "valid" true
+      (Param.value !config "y" <= Param.value !config "x")
+  done
+
+(* quadratic bowl over the space: minimum at x=2,y=2 *)
+let bowl config =
+  let x = Param.value config "x" and y = Param.value config "y" in
+  Some (float_of_int (((x - 2) * (x - 2)) + ((y - 2) * (y - 2))))
+
+let test_exhaustive_finds_optimum () =
+  match Search.exhaustive (dependent_space ()) ~cost:bowl with
+  | None -> Alcotest.fail "no result"
+  | Some r ->
+    check (Alcotest.float 1e-9) "optimum" 0.0 r.Search.best_cost;
+    check Alcotest.int "all evaluated" 6 r.Search.evaluations
+
+let test_random_search_improves () =
+  match Search.random_search (dependent_space ()) ~seed:7 ~budget:50 ~cost:bowl with
+  | None -> Alcotest.fail "no result"
+  | Some r ->
+    check Alcotest.bool "found optimum in tiny space" true (r.Search.best_cost <= 1.0);
+    check Alcotest.bool "trace monotone" true
+      (let costs = List.map snd r.Search.trace in
+       List.for_all2 (fun a b -> b <= a)
+         (List.filteri (fun i _ -> i < List.length costs - 1) costs)
+         (List.tl costs))
+
+let test_annealing_finds_optimum () =
+  match Search.simulated_annealing (dependent_space ()) ~seed:11 ~budget:100 ~cost:bowl with
+  | None -> Alcotest.fail "no result"
+  | Some r -> check (Alcotest.float 1e-9) "optimum" 0.0 r.Search.best_cost
+
+let test_search_deterministic () =
+  let run () =
+    Option.get (Search.simulated_annealing (dependent_space ()) ~seed:13 ~budget:60 ~cost:bowl)
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "same best" true (a.Search.best = b.Search.best);
+  check Alcotest.int "same evals" a.Search.evaluations b.Search.evaluations
+
+let test_search_skips_illegal () =
+  let cost config = if Param.value config "x" = 2 then None else bowl config in
+  match Search.exhaustive (dependent_space ()) ~cost with
+  | None -> Alcotest.fail "no result"
+  | Some r -> check Alcotest.bool "optimum avoids illegal" true (Param.value r.Search.best "x" <> 2)
+
+let test_all_illegal_yields_none () =
+  check Alcotest.bool "none" true
+    (Search.exhaustive (dependent_space ()) ~cost:(fun _ -> None) = None)
+
+(* --- tuning real workloads --- *)
+
+let test_tune_improves_on_default () =
+  let md = W.to_md_hom Mdh_workloads.Linalg.matmul [ ("I", 1024); ("J", 1024); ("K", 1024) ] in
+  let default_cost =
+    match Cost.seconds md cpu Cost.tuned_codegen (Mdh_lowering.Lower.mdh_default md cpu) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  match Tuner.tune ~budget:200 md cpu Cost.tuned_codegen with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    check Alcotest.bool "tuned <= default" true (t.Tuner.estimated_s <= default_cost);
+    check Alcotest.bool "legal" true (Schedule.legal md cpu t.Tuner.schedule = Ok ())
+
+let test_tune_parallelises_reduction_for_dot () =
+  let md = W.to_md_hom Mdh_workloads.Linalg.dot [ ("K", 1 lsl 24) ] in
+  match Tuner.tune ~budget:100 md Device.a100_like Cost.tuned_codegen with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    (* the only way to use the GPU on dot is to parallelise the reduction *)
+    check (Alcotest.list Alcotest.int) "reduction parallel" [ 0 ]
+      t.Tuner.schedule.Schedule.parallel_dims
+
+let test_tune_respects_parallel_options () =
+  let md = W.to_md_hom Mdh_workloads.Linalg.dot [ ("K", 65536) ] in
+  match Tuner.tune ~parallel_options:[ [] ] ~budget:50 md cpu Cost.tuned_codegen with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    check (Alcotest.list Alcotest.int) "restricted" []
+      t.Tuner.schedule.Schedule.parallel_dims
+
+let test_tune_deterministic () =
+  let md = W.to_md_hom Mdh_workloads.Linalg.matvec [ ("I", 4096); ("K", 4096) ] in
+  let run () =
+    match Tuner.tune ~budget:80 ~seed:3 md cpu Cost.tuned_codegen with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let a = run () and b = run () in
+  check Alcotest.bool "same schedule" true (a.Tuner.schedule = b.Tuner.schedule)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "atf",
+    [ tc "enumerate respects constraints" `Quick test_enumerate_respects_constraints;
+      tc "enumerate cap" `Quick test_enumerate_cap;
+      tc "duplicate params rejected" `Quick test_duplicate_params_rejected;
+      tc "sample valid" `Quick test_sample_valid;
+      tc "sample dead end" `Quick test_sample_dead_end;
+      tc "neighbour stays valid" `Quick test_neighbour_stays_valid;
+      tc "exhaustive optimum" `Quick test_exhaustive_finds_optimum;
+      tc "random search improves" `Quick test_random_search_improves;
+      tc "annealing optimum" `Quick test_annealing_finds_optimum;
+      tc "search deterministic" `Quick test_search_deterministic;
+      tc "search skips illegal" `Quick test_search_skips_illegal;
+      tc "all illegal yields none" `Quick test_all_illegal_yields_none;
+      tc "tune improves on default" `Quick test_tune_improves_on_default;
+      tc "tune parallelises dot reduction" `Quick test_tune_parallelises_reduction_for_dot;
+      tc "tune respects parallel options" `Quick test_tune_respects_parallel_options;
+      tc "tune deterministic" `Quick test_tune_deterministic ] )

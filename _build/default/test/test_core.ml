@@ -1,0 +1,333 @@
+(* Tests for the MDH high-level representation and its three evaluators
+   (reference, in-place exec, tiled decomposition). *)
+
+module Scalar = Mdh_tensor.Scalar
+module Shape = Mdh_tensor.Shape
+module Dense = Mdh_tensor.Dense
+module Buffer = Mdh_tensor.Buffer
+module Combine = Mdh_combine.Combine
+module Expr = Mdh_expr.Expr
+module D = Mdh_directive.Directive
+module Transform = Mdh_directive.Transform
+open Mdh_core
+
+let check = Alcotest.check
+
+(* --- tiny workload builders (through the directive frontend) --- *)
+
+let matvec_md ~i ~k =
+  D.make ~name:"matvec"
+    ~out:[ D.buffer "w" Scalar.Fp32 ]
+    ~inp:[ D.buffer "M" Scalar.Fp32; D.buffer "v" Scalar.Fp32 ]
+    ~combine_ops:[ Combine.cc; Combine.pw (Combine.add Scalar.Fp32) ]
+    (D.for_ "i" i
+       (D.for_ "k" k
+          (D.body
+             [ D.assign "w" [ Expr.idx "i" ]
+                 Expr.(read "M" [ idx "i"; idx "k" ] * read "v" [ idx "k" ]) ])))
+  |> Transform.to_md_hom_exn
+
+let dot_md ~k =
+  D.make ~name:"dot"
+    ~out:[ D.buffer "r" Scalar.Fp32 ]
+    ~inp:[ D.buffer "x" Scalar.Fp32; D.buffer "y" Scalar.Fp32 ]
+    ~combine_ops:[ Combine.pw (Combine.add Scalar.Fp32) ]
+    (D.for_ "k" k
+       (D.body
+          [ D.assign "r" [ Expr.int 0 ]
+              Expr.(read "x" [ idx "k" ] * read "y" [ idx "k" ]) ]))
+  |> Transform.to_md_hom_exn
+
+let mbbs_scan_md ~i ~j =
+  (* prefix sums over columns: b[i,j] = sum_{i'<=i} a[i',j] *)
+  D.make ~name:"col_scan"
+    ~out:[ D.buffer "b" Scalar.Int32 ]
+    ~inp:[ D.buffer "a" Scalar.Int32 ]
+    ~combine_ops:[ Combine.ps (Combine.add Scalar.Int32); Combine.cc ]
+    (D.for_ "i" i
+       (D.for_ "j" j
+          (D.body [ D.assign "b" [ Expr.idx "i"; Expr.idx "j" ] (Expr.read "a" [ Expr.idx "i"; Expr.idx "j" ]) ])))
+  |> Transform.to_md_hom_exn
+
+let stencil_md ~n =
+  (* 3-point stencil over a padded input of size n+2 *)
+  D.make ~name:"jacobi1d"
+    ~out:[ D.buffer "y" Scalar.Fp32 ]
+    ~inp:[ D.buffer "x" Scalar.Fp32 ]
+    ~combine_ops:[ Combine.cc ]
+    (D.for_ "i" n
+       (D.body
+          [ D.assign "y" [ Expr.idx "i" ]
+              Expr.(
+                f32 0.333
+                * (read "x" [ idx "i" ] + read "x" [ idx "i" + int 1 ]
+                  + read "x" [ idx "i" + int 2 ])) ]))
+  |> Transform.to_md_hom_exn
+
+let float_buffer name rng shape =
+  Buffer.of_dense name
+    (Dense.of_fn Scalar.Fp32 shape (fun _ ->
+         Scalar.f32 (Mdh_support.Rng.float rng 2.0 -. 1.0)))
+
+let int_buffer name rng shape =
+  Buffer.of_dense name
+    (Dense.of_fn Scalar.Int32 shape (fun _ -> Scalar.i32 (Mdh_support.Rng.int rng 20 - 10)))
+
+(* --- structure --- *)
+
+let test_matvec_structure () =
+  let md = matvec_md ~i:4 ~k:3 in
+  check Alcotest.int "rank" 2 (Md_hom.rank md);
+  check (Alcotest.array Alcotest.int) "sizes" [| 4; 3 |] md.sizes;
+  check (Alcotest.list Alcotest.int) "reduction dims" [ 1 ] (Md_hom.reduction_dims md);
+  check (Alcotest.list Alcotest.int) "cc dims" [ 0 ] (Md_hom.cc_dims md);
+  check (Alcotest.array Alcotest.int) "result shape" [| 4; 1 |] (Md_hom.result_shape md);
+  let o = List.hd md.outputs in
+  check (Alcotest.array Alcotest.int) "out shape inferred" [| 4 |] o.out_shape;
+  let m = Option.get (Md_hom.find_input md "M") in
+  check (Alcotest.array Alcotest.int) "M shape inferred" [| 4; 3 |] m.inp_shape;
+  let v = Option.get (Md_hom.find_input md "v") in
+  check (Alcotest.array Alcotest.int) "v shape inferred" [| 3 |] v.inp_shape
+
+let test_matvec_characteristics () =
+  let md = matvec_md ~i:4 ~k:3 in
+  let c = Md_hom.characteristics md in
+  check Alcotest.int "2D" 2 c.iter_space_rank;
+  check Alcotest.int "1 reduction dim" 1 c.n_reduction_dims;
+  (* MatVec is Non-Inj. in Figure 3 because of the vector access (i,k)->(k) *)
+  check (Alcotest.option Alcotest.bool) "non-injective" (Some false) c.injective_accesses
+
+let test_dot_characteristics () =
+  let md = dot_md ~k:8 in
+  let c = Md_hom.characteristics md in
+  check Alcotest.int "1D" 1 c.iter_space_rank;
+  (* Dot is Inj. in Figure 3: (k)->(k) accesses *)
+  check (Alcotest.option Alcotest.bool) "injective" (Some true) c.injective_accesses
+
+let test_stencil_characteristics () =
+  let md = stencil_md ~n:8 in
+  let c = Md_hom.characteristics md in
+  check Alcotest.int "no reductions" 0 c.n_reduction_dims;
+  let x = Option.get (Md_hom.find_input md "x") in
+  check Alcotest.int "3 accesses" 3 (List.length x.accesses);
+  check (Alcotest.array Alcotest.int) "padded input shape" [| 10 |] x.inp_shape
+
+let test_flops_per_point () =
+  let md = matvec_md ~i:4 ~k:3 in
+  check Alcotest.int "one multiply" 1 (Md_hom.flops_per_point md);
+  check Alcotest.int "points" 12 (Md_hom.total_points md)
+
+(* --- semantics: reference vs hand-written oracle --- *)
+
+let oracle_matvec m v ~i ~k =
+  Array.init i (fun r ->
+      let acc = ref 0.0 in
+      for c = 0 to k - 1 do
+        acc := Scalar.round_f32 (!acc +. Scalar.round_f32 (m.(r).(c) *. v.(c)))
+      done;
+      !acc)
+
+let test_reference_matvec () =
+  let i = 5 and k = 7 in
+  let md = matvec_md ~i ~k in
+  let rng = Mdh_support.Rng.create 1 in
+  let m = Array.init i (fun _ -> Array.init k (fun _ -> Mdh_support.Rng.float rng 1.0)) in
+  let v = Array.init k (fun _ -> Mdh_support.Rng.float rng 1.0) in
+  let env =
+    Buffer.env_of_list
+      [ Buffer.of_dense "M" (Dense.of_fn Scalar.Fp32 [| i; k |] (fun ix -> Scalar.f32 m.(ix.(0)).(ix.(1))));
+        Buffer.of_dense "v" (Dense.of_fn Scalar.Fp32 [| k |] (fun ix -> Scalar.f32 v.(ix.(0)))) ]
+  in
+  let out = Semantics.result_tensor md (Semantics.reference md env) "w" in
+  let expect = oracle_matvec m v ~i ~k in
+  let got = Array.init i (fun r -> Scalar.to_float (Dense.get out [| r |])) in
+  Array.iteri
+    (fun r e -> check (Alcotest.float 1e-4) (Printf.sprintf "w[%d]" r) e got.(r))
+    expect
+
+let test_reference_scan () =
+  let md = mbbs_scan_md ~i:4 ~j:2 in
+  let a = [| [| 1; 10 |]; [| 2; 20 |]; [| 3; 30 |]; [| 4; 40 |] |] in
+  let env =
+    Buffer.env_of_list
+      [ Buffer.of_dense "a"
+          (Dense.of_fn Scalar.Int32 [| 4; 2 |] (fun ix -> Scalar.i32 a.(ix.(0)).(ix.(1)))) ]
+  in
+  let out = Semantics.result_tensor md (Semantics.reference md env) "b" in
+  check Test_util.scalar_value "b[3,0]" (Scalar.i32 10) (Dense.get out [| 3; 0 |]);
+  check Test_util.scalar_value "b[2,1]" (Scalar.i32 60) (Dense.get out [| 2; 1 |]);
+  check Test_util.scalar_value "b[0,0]" (Scalar.i32 1) (Dense.get out [| 0; 0 |])
+
+let test_reference_stencil () =
+  let md = stencil_md ~n:4 in
+  let env =
+    Buffer.env_of_list
+      [ Buffer.of_dense "x" (Dense.of_fn Scalar.Fp32 [| 6 |] (fun ix -> Scalar.f32 (float_of_int ix.(0)))) ]
+  in
+  let out = Semantics.result_tensor md (Semantics.reference md env) "y" in
+  check (Alcotest.float 1e-4) "y[0]" (0.333 *. 3.0) (Scalar.to_float (Dense.get out [| 0 |]));
+  check (Alcotest.float 1e-4) "y[3]" (0.333 *. 12.0) (Scalar.to_float (Dense.get out [| 3 |]))
+
+(* --- exec and eval_tiled agree with reference --- *)
+
+let envs_equal md env_a env_b =
+  List.for_all
+    (fun (o : Md_hom.output) ->
+      Dense.approx_equal ~rel:1e-4 ~abs:1e-5
+        (Buffer.data (Buffer.env_find env_a o.out_name))
+        (Buffer.data (Buffer.env_find env_b o.out_name)))
+    md.Md_hom.outputs
+
+let test_exec_matches_reference_matvec () =
+  let md = matvec_md ~i:6 ~k:5 in
+  let rng = Mdh_support.Rng.create 2 in
+  let env =
+    Buffer.env_of_list [ float_buffer "M" rng [| 6; 5 |]; float_buffer "v" rng [| 5 |] ]
+  in
+  check Alcotest.bool "exec = reference" true
+    (envs_equal md (Semantics.reference md env) (Semantics.exec md env))
+
+let test_exec_matches_reference_scan () =
+  let md = mbbs_scan_md ~i:5 ~j:3 in
+  let rng = Mdh_support.Rng.create 3 in
+  let env = Buffer.env_of_list [ int_buffer "a" rng [| 5; 3 |] ] in
+  check Alcotest.bool "exec = reference" true
+    (envs_equal md (Semantics.reference md env) (Semantics.exec md env))
+
+let test_tiled_matches_reference_various_tiles () =
+  let md = matvec_md ~i:6 ~k:5 in
+  let rng = Mdh_support.Rng.create 4 in
+  let env =
+    Buffer.env_of_list [ float_buffer "M" rng [| 6; 5 |]; float_buffer "v" rng [| 5 |] ]
+  in
+  let reference = Semantics.reference md env in
+  List.iter
+    (fun tiles ->
+      check Alcotest.bool
+        (Printf.sprintf "tiles %s" (Mdh_support.Util.string_of_dims tiles))
+        true
+        (envs_equal md reference (Semantics.eval_tiled md env ~tile_sizes:tiles)))
+    [ [| 1; 1 |]; [| 2; 2 |]; [| 3; 5 |]; [| 6; 1 |]; [| 4; 3 |]; [| 100; 100 |] ]
+
+let test_tiled_matches_reference_scan () =
+  let md = mbbs_scan_md ~i:8 ~j:2 in
+  let rng = Mdh_support.Rng.create 5 in
+  let env = Buffer.env_of_list [ int_buffer "a" rng [| 8; 2 |] ] in
+  let reference = Semantics.reference md env in
+  List.iter
+    (fun tiles ->
+      check Alcotest.bool
+        (Printf.sprintf "tiles %s" (Mdh_support.Util.string_of_dims tiles))
+        true
+        (envs_equal md reference (Semantics.eval_tiled md env ~tile_sizes:tiles)))
+    [ [| 1; 1 |]; [| 3; 1 |]; [| 4; 2 |]; [| 8; 2 |]; [| 5; 2 |] ]
+
+(* Decomposition law as a qcheck property: random matvec sizes and tile
+   sizes, tiled evaluation equals reference. *)
+let prop_decomposition_law =
+  let gen =
+    QCheck2.Gen.(
+      let* i = int_range 1 8 in
+      let* k = int_range 1 8 in
+      let* ti = int_range 1 8 in
+      let* tk = int_range 1 8 in
+      let* seed = int_range 0 10000 in
+      return (i, k, ti, tk, seed))
+  in
+  QCheck2.Test.make ~name:"MDH decomposition law (matvec)" ~count:60 gen
+    (fun (i, k, ti, tk, seed) ->
+      let md = matvec_md ~i ~k in
+      let rng = Mdh_support.Rng.create seed in
+      let env =
+        Buffer.env_of_list [ float_buffer "M" rng [| i; k |]; float_buffer "v" rng [| k |] ]
+      in
+      envs_equal md (Semantics.reference md env)
+        (Semantics.eval_tiled md env ~tile_sizes:[| ti; tk |]))
+
+let prop_decomposition_law_scan =
+  let gen =
+    QCheck2.Gen.(
+      let* i = int_range 1 10 in
+      let* j = int_range 1 4 in
+      let* ti = int_range 1 10 in
+      let* seed = int_range 0 10000 in
+      return (i, j, ti, seed))
+  in
+  QCheck2.Test.make ~name:"MDH decomposition law (column scan / ps)" ~count:60 gen
+    (fun (i, j, ti, seed) ->
+      let md = mbbs_scan_md ~i ~j in
+      let rng = Mdh_support.Rng.create seed in
+      let env = Buffer.env_of_list [ int_buffer "a" rng [| i; j |] ] in
+      envs_equal md (Semantics.reference md env)
+        (Semantics.eval_tiled md env ~tile_sizes:[| ti; j |]))
+
+let test_exec_rejects_distinct_pw_ops () =
+  (* the in-place executor cannot interleave two different pw operators;
+     it must fail loudly and `reference` must still work *)
+  let md = matvec_md ~i:3 ~k:3 in
+  let md =
+    { md with
+      Md_hom.dims = [| "i"; "k" |];
+      sizes = [| 3; 3 |];
+      combine_ops =
+        [| Combine.pw (Combine.max Scalar.Fp32); Combine.pw (Combine.add Scalar.Fp32) |];
+      outputs =
+        List.map
+          (fun (o : Md_hom.output) ->
+            { o with
+              Md_hom.out_shape = [| 1 |];
+              out_access =
+                { Md_hom.fn = Mdh_tensor.Index_fn.affine ~arity:2
+                      [ Mdh_tensor.Index_fn.coord ~coeffs:[| 0; 0 |] ~offset:0 ];
+                  exprs = [ Expr.int 0 ] } })
+          md.Md_hom.outputs }
+  in
+  let rng = Mdh_support.Rng.create 8 in
+  let env =
+    Buffer.env_of_list [ float_buffer "M" rng [| 3; 3 |]; float_buffer "v" rng [| 3 |] ]
+  in
+  check Alcotest.bool "exec raises" true
+    (try ignore (Semantics.exec md env); false
+     with Semantics.Semantic_error _ -> true);
+  check Alcotest.bool "reference still works" true
+    (try ignore (Semantics.reference md env); true
+     with Semantics.Semantic_error _ -> false)
+
+let test_missing_input_rejected () =
+  let md = matvec_md ~i:2 ~k:2 in
+  let rng = Mdh_support.Rng.create 6 in
+  let env = Buffer.env_of_list [ float_buffer "M" rng [| 2; 2 |] ] in
+  check Alcotest.bool "raises" true
+    (try ignore (Semantics.reference md env); false
+     with Semantics.Semantic_error _ -> true)
+
+let test_wrong_shape_rejected () =
+  let md = matvec_md ~i:2 ~k:2 in
+  let rng = Mdh_support.Rng.create 7 in
+  let env =
+    Buffer.env_of_list [ float_buffer "M" rng [| 3; 2 |]; float_buffer "v" rng [| 2 |] ]
+  in
+  check Alcotest.bool "raises" true
+    (try ignore (Semantics.reference md env); false
+     with Semantics.Semantic_error _ -> true)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "core",
+    [ tc "matvec structure" `Quick test_matvec_structure;
+      tc "matvec characteristics" `Quick test_matvec_characteristics;
+      tc "dot characteristics" `Quick test_dot_characteristics;
+      tc "stencil characteristics" `Quick test_stencil_characteristics;
+      tc "flops per point" `Quick test_flops_per_point;
+      tc "reference matvec vs oracle" `Quick test_reference_matvec;
+      tc "reference column scan" `Quick test_reference_scan;
+      tc "reference stencil" `Quick test_reference_stencil;
+      tc "exec = reference (matvec)" `Quick test_exec_matches_reference_matvec;
+      tc "exec = reference (scan)" `Quick test_exec_matches_reference_scan;
+      tc "tiled = reference (matvec)" `Quick test_tiled_matches_reference_various_tiles;
+      tc "tiled = reference (scan)" `Quick test_tiled_matches_reference_scan;
+      QCheck_alcotest.to_alcotest prop_decomposition_law;
+      QCheck_alcotest.to_alcotest prop_decomposition_law_scan;
+      tc "exec rejects distinct pw ops" `Quick test_exec_rejects_distinct_pw_ops;
+      tc "missing input rejected" `Quick test_missing_input_rejected;
+      tc "wrong shape rejected" `Quick test_wrong_shape_rejected ] )

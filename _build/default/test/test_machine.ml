@@ -1,0 +1,117 @@
+(* Tests for device descriptions and the roofline estimator. *)
+
+open Mdh_machine
+
+let check = Alcotest.check
+
+let test_device_presets () =
+  check Alcotest.string "gpu name" "a100_like" Device.a100_like.Device.device_name;
+  check Alcotest.bool "gpu kind" true (Device.a100_like.Device.kind = Device.Gpu);
+  check Alcotest.bool "cpu kind" true (Device.xeon6140_like.Device.kind = Device.Cpu);
+  check Alcotest.bool "gpu much more parallel" true
+    (Device.total_parallelism Device.a100_like
+    > 100 * Device.total_parallelism Device.xeon6140_like);
+  check Alcotest.bool "cpu has no link" true
+    (Device.xeon6140_like.Device.link_gbs = None)
+
+let test_mem_levels_ordered () =
+  List.iter
+    (fun dev ->
+      let mem = dev.Device.mem in
+      for i = 1 to Array.length mem - 1 do
+        check Alcotest.bool "capacity shrinks inward" true
+          (mem.(i).Device.capacity_bytes < mem.(i - 1).Device.capacity_bytes);
+        check Alcotest.bool "bandwidth grows inward" true
+          (mem.(i).Device.bandwidth_gbs > mem.(i - 1).Device.bandwidth_gbs)
+      done)
+    [ Device.a100_like; Device.xeon6140_like ]
+
+let test_find_layer () =
+  check Alcotest.int "threads" 1 (Device.find_layer Device.a100_like "threads");
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Device.find_layer Device.a100_like "nope"))
+
+let dev = Device.xeon6140_like
+let n_levels = Array.length dev.Device.mem
+
+let stats ?(flops = 0.0) ?(dram = 0.0) ?(link = 0.0) ?(launches = 0) ?(serial = 0.0) () =
+  let level_bytes = Array.make n_levels 0.0 in
+  if n_levels > 0 then level_bytes.(0) <- dram;
+  { Roofline.flops; level_bytes; link_bytes = link; launches; serial_ops = serial }
+
+let test_roofline_compute_bound () =
+  let b = Roofline.estimate dev Roofline.ideal (stats ~flops:(dev.Device.peak_gflops *. 1e9) ()) in
+  check (Alcotest.float 1e-6) "one second of peak flops" 1.0 b.Roofline.total_s
+
+let test_roofline_memory_bound () =
+  let dram_bw = dev.Device.mem.(0).Device.bandwidth_gbs *. 1e9 in
+  let b = Roofline.estimate dev Roofline.ideal (stats ~dram:dram_bw ()) in
+  check (Alcotest.float 1e-6) "one second of DRAM traffic" 1.0 b.Roofline.total_s
+
+let test_roofline_max_not_sum () =
+  let dram_bw = dev.Device.mem.(0).Device.bandwidth_gbs *. 1e9 in
+  let b =
+    Roofline.estimate dev Roofline.ideal
+      (stats ~flops:(dev.Device.peak_gflops *. 1e9) ~dram:dram_bw ())
+  in
+  (* compute and memory overlap: the roof is the max *)
+  check (Alcotest.float 1e-6) "overlapped" 1.0 b.Roofline.total_s
+
+let test_roofline_efficiency_scales () =
+  let s = stats ~flops:1e12 () in
+  let full = Roofline.estimate dev Roofline.ideal s in
+  let half =
+    Roofline.estimate dev
+      { Roofline.ideal with Roofline.parallel_fraction = 0.5 }
+      s
+  in
+  check (Alcotest.float 1e-6) "half units, double time" (2.0 *. full.Roofline.total_s)
+    half.Roofline.total_s
+
+let test_roofline_overheads_add () =
+  let b = Roofline.estimate dev Roofline.ideal (stats ~launches:10 ()) in
+  check (Alcotest.float 1e-12) "launches" (10.0 *. dev.Device.launch_overhead_s)
+    b.Roofline.total_s
+
+let test_roofline_serial () =
+  let single = dev.Device.peak_gflops /. float_of_int (Device.total_parallelism dev) in
+  let b = Roofline.estimate dev Roofline.ideal (stats ~serial:(single *. 1e9) ()) in
+  check (Alcotest.float 1e-6) "serial second" 1.0 b.Roofline.total_s
+
+let test_roofline_link_gpu_only () =
+  let gpu = Device.a100_like in
+  let level_bytes = Array.make (Array.length gpu.Device.mem) 0.0 in
+  let s =
+    { Roofline.flops = 0.0; level_bytes; link_bytes = 16e9; launches = 0;
+      serial_ops = 0.0 }
+  in
+  let b = Roofline.estimate gpu Roofline.ideal s in
+  check (Alcotest.float 1e-6) "one second of PCIe" 1.0 b.Roofline.total_s;
+  (* no link on the CPU: bytes ignored *)
+  let b_cpu = Roofline.estimate dev Roofline.ideal (stats ~link:16e9 ()) in
+  check (Alcotest.float 1e-12) "cpu ignores link" 0.0 b_cpu.Roofline.total_s
+
+let test_roofline_rejects_bad_efficiency () =
+  check Alcotest.bool "zero fraction rejected" true
+    (try
+       ignore
+         (Roofline.estimate dev
+            { Roofline.ideal with Roofline.parallel_fraction = 0.0 }
+            (stats ()));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "machine",
+    [ tc "device presets" `Quick test_device_presets;
+      tc "memory levels ordered" `Quick test_mem_levels_ordered;
+      tc "find layer" `Quick test_find_layer;
+      tc "roofline compute bound" `Quick test_roofline_compute_bound;
+      tc "roofline memory bound" `Quick test_roofline_memory_bound;
+      tc "roofline overlap (max)" `Quick test_roofline_max_not_sum;
+      tc "roofline efficiency scales" `Quick test_roofline_efficiency_scales;
+      tc "roofline overheads" `Quick test_roofline_overheads_add;
+      tc "roofline serial" `Quick test_roofline_serial;
+      tc "roofline link" `Quick test_roofline_link_gpu_only;
+      tc "roofline validates efficiency" `Quick test_roofline_rejects_bad_efficiency ] )

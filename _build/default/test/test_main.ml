@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "mdh"
+    [ Test_support.suite;
+      Test_tensor.suite;
+      Test_expr.suite;
+      Test_combine.suite;
+      Test_core.suite;
+      Test_directive.suite;
+      Test_machine.suite;
+      Test_lowering.suite;
+      Test_atf.suite;
+      Test_runtime.suite;
+      Test_baselines.suite;
+      Test_workloads.suite;
+      Test_pragma.suite;
+      Test_codegen.suite;
+      Test_fuzz.suite;
+      Test_model_props.suite;
+      Test_reports.suite ]

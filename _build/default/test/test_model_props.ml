@@ -1,0 +1,128 @@
+(* Property tests for the performance-model layer: the cost model must be
+   total, positive and finite over arbitrary legal schedules; footprints
+   must grow monotonically with the tile box; transfers can only add time;
+   clamping must not change the estimate. *)
+
+module W = Mdh_workloads.Workload
+module Catalog = Mdh_workloads.Catalog
+module Device = Mdh_machine.Device
+module Schedule = Mdh_lowering.Schedule
+module Cost = Mdh_lowering.Cost
+module Footprint = Mdh_lowering.Footprint
+module Lower = Mdh_lowering.Lower
+module Rng = Mdh_support.Rng
+
+let workloads = Array.of_list Catalog.all
+let devices = [| Device.a100_like; Device.xeon6140_like |]
+
+(* a random legal schedule for a given computation *)
+let random_schedule rng md dev =
+  let rank = Mdh_core.Md_hom.rank md in
+  let tile_sizes =
+    Array.init rank (fun d -> Rng.int_in rng 1 (md.Mdh_core.Md_hom.sizes.(d) + 3))
+  in
+  let candidates = Lower.parallelisable_dims md in
+  let parallel_dims = List.filter (fun _ -> Rng.bool rng) candidates in
+  let n_layers = Array.length dev.Device.layers in
+  let used_layers =
+    List.filter (fun _ -> Rng.bool rng) (List.init n_layers Fun.id)
+  in
+  { Schedule.tile_sizes; parallel_dims; used_layers }
+
+let gen_case =
+  QCheck2.Gen.map
+    (fun seed ->
+      let rng = Rng.create seed in
+      let w = workloads.(Rng.int rng (Array.length workloads)) in
+      let dev = devices.(Rng.int rng 2) in
+      let md = W.to_md_hom w w.W.test_params in
+      (w.W.wl_name, md, dev, random_schedule rng md dev))
+    QCheck2.Gen.(int_range 0 1_000_000_000)
+
+let prop_cost_total_positive_finite =
+  QCheck2.Test.make ~name:"cost model: total, positive, finite" ~count:300 gen_case
+    (fun (_, md, dev, sched) ->
+      match Cost.analyse md dev Cost.tuned_codegen sched with
+      | Error _ -> true (* only illegal schedules may be rejected *)
+      | Ok a ->
+        let t = a.Cost.breakdown.Mdh_machine.Roofline.total_s in
+        Float.is_finite t && t > 0.0)
+
+let prop_legal_schedules_always_costed =
+  QCheck2.Test.make ~name:"cost model: legal => costed" ~count:300 gen_case
+    (fun (_, md, dev, sched) ->
+      match Schedule.legal md dev sched with
+      | Error _ -> true
+      | Ok () -> Result.is_ok (Cost.analyse md dev Cost.tuned_codegen sched))
+
+let prop_transfers_add_time =
+  QCheck2.Test.make ~name:"cost model: transfers never reduce time" ~count:200 gen_case
+    (fun (_, md, dev, sched) ->
+      match
+        ( Cost.seconds md dev Cost.tuned_codegen sched,
+          Cost.seconds ~include_transfers:true md dev Cost.tuned_codegen sched )
+      with
+      | Ok without, Ok wth -> wth >= without
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_clamp_invariant =
+  QCheck2.Test.make ~name:"cost model: clamping tiles is a no-op" ~count:200 gen_case
+    (fun (_, md, dev, sched) ->
+      match
+        ( Cost.seconds md dev Cost.tuned_codegen sched,
+          Cost.seconds md dev Cost.tuned_codegen (Schedule.clamp md sched) )
+      with
+      | Ok a, Ok b -> Mdh_support.Util.float_equal a b
+      | Error _, Error _ -> true
+      | _ -> false)
+
+let prop_footprint_monotone =
+  QCheck2.Test.make ~name:"footprint: monotone in the tile box" ~count:300
+    QCheck2.Gen.(pair (int_range 0 1_000_000_000) (int_range 0 (Array.length workloads - 1)))
+    (fun (seed, wi) ->
+      let rng = Rng.create seed in
+      let w = workloads.(wi) in
+      let md = W.to_md_hom w w.W.test_params in
+      let rank = Mdh_core.Md_hom.rank md in
+      let small = Array.init rank (fun d -> Rng.int_in rng 1 md.Mdh_core.Md_hom.sizes.(d)) in
+      let big = Array.mapi (fun d s -> min md.Mdh_core.Md_hom.sizes.(d) (s + Rng.int rng 3)) small in
+      Footprint.tile_input_bytes md ~box:big >= Footprint.tile_input_bytes md ~box:small)
+
+let prop_footprint_bounded_by_buffers =
+  QCheck2.Test.make ~name:"footprint: never exceeds the buffers" ~count:300
+    QCheck2.Gen.(int_range 0 (Array.length workloads - 1))
+    (fun wi ->
+      let w = workloads.(wi) in
+      let md = W.to_md_hom w w.W.test_params in
+      Footprint.tile_input_bytes md ~box:md.Mdh_core.Md_hom.sizes
+      <= Mdh_core.Md_hom.input_bytes md)
+
+let prop_tuner_never_worse_than_default =
+  QCheck2.Test.make ~name:"tuner: never worse than the heuristic default" ~count:40
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 (Array.length workloads - 1)))
+    (fun (seed, wi) ->
+      let w = workloads.(wi) in
+      let md = W.to_md_hom w w.W.test_params in
+      List.for_all
+        (fun dev ->
+          let default = Lower.mdh_default md dev in
+          match
+            ( Cost.seconds md dev Cost.tuned_codegen default,
+              Mdh_atf.Tuner.tune ~budget:120 ~seed md dev Cost.tuned_codegen )
+          with
+          | Ok default_s, Ok t ->
+            (* the tuner floors its stochastic search at the heuristic *)
+            t.Mdh_atf.Tuner.estimated_s <= default_s *. 1.001
+          | _ -> false)
+        (Array.to_list devices))
+
+let suite =
+  ( "model-props",
+    [ QCheck_alcotest.to_alcotest prop_cost_total_positive_finite;
+      QCheck_alcotest.to_alcotest prop_legal_schedules_always_costed;
+      QCheck_alcotest.to_alcotest prop_transfers_add_time;
+      QCheck_alcotest.to_alcotest prop_clamp_invariant;
+      QCheck_alcotest.to_alcotest prop_footprint_monotone;
+      QCheck_alcotest.to_alcotest prop_footprint_bounded_by_buffers;
+      QCheck_alcotest.to_alcotest prop_tuner_never_worse_than_default ] )

@@ -1,0 +1,344 @@
+(* Tests for the textual #pragma mdh frontend (lexer + parser + integration
+   with validation and the semantics). *)
+
+module Scalar = Mdh_tensor.Scalar
+module Buffer = Mdh_tensor.Buffer
+module Dense = Mdh_tensor.Dense
+module Combine = Mdh_combine.Combine
+module D = Mdh_directive.Directive
+open Mdh_pragma
+
+let check = Alcotest.check
+
+let matvec_src =
+  {|
+#pragma mdh out(w : fp32) inp(M : fp32, v : fp32) combine_ops(cc, pw(add))
+for (i = 0; i < I; i++)
+  for (k = 0; k < K; k++)
+    w[i] = M[i, k] * v[k];
+|}
+
+let parse_ok ?params src =
+  match Parser.parse ?params src with
+  | Ok dir -> dir
+  | Error e -> Alcotest.failf "unexpected parse error: %s" (Parser.error_to_string e)
+
+let parse_err ?params src =
+  match Parser.parse ?params src with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+(* --- lexer --- *)
+
+let test_lexer_tokens () =
+  match Lexer.tokenize "for (i = 0; i < 10; i++) x[i] = 1.5;" with
+  | Error e -> Alcotest.failf "lex: %s" (Format.asprintf "%a" Lexer.pp_error e)
+  | Ok tokens ->
+    let kinds = List.map (fun t -> t.Token.token) tokens in
+    check Alcotest.bool "starts with for" true (List.hd kinds = Token.Kw_for);
+    check Alcotest.bool "has ++" true (List.mem Token.Plus_plus kinds);
+    check Alcotest.bool "has float" true (List.mem (Token.Float_lit 1.5) kinds);
+    check Alcotest.bool "ends with eof" true
+      (List.nth kinds (List.length kinds - 1) = Token.Eof)
+
+let test_lexer_comments () =
+  match Lexer.tokenize "// line comment\n 42 /* block\n comment */ 7" with
+  | Error _ -> Alcotest.fail "lex"
+  | Ok tokens ->
+    check
+      (Alcotest.list (Alcotest.testable (fun ppf t -> Fmt.string ppf (Token.describe t)) ( = )))
+      "only the numbers"
+      [ Token.Int_lit 42; Token.Int_lit 7; Token.Eof ]
+      (List.map (fun t -> t.Token.token) tokens)
+
+let test_lexer_positions () =
+  match Lexer.tokenize "a\n  b" with
+  | Error _ -> Alcotest.fail "lex"
+  | Ok [ _a; b; _eof ] ->
+    check Alcotest.int "line" 2 b.Token.pos.Token.line;
+    check Alcotest.int "col" 3 b.Token.pos.Token.col
+  | Ok _ -> Alcotest.fail "token count"
+
+let test_lexer_rejects_stray_char () =
+  match Lexer.tokenize "a $ b" with
+  | Error e -> check Alcotest.bool "mentions char" true
+      (Test_util.contains (Format.asprintf "%a" Lexer.pp_error e) "'$'")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_lexer_line_continuation () =
+  match Lexer.tokenize "#pragma mdh \\\n out" with
+  | Ok tokens ->
+    check Alcotest.bool "pragma then ident" true
+      (List.map (fun t -> t.Token.token) tokens
+      = [ Token.Pragma_mdh; Token.Ident "out"; Token.Eof ])
+  | Error _ -> Alcotest.fail "lex"
+
+(* --- parser: structure --- *)
+
+let test_parse_matvec_structure () =
+  let dir = parse_ok ~params:[ ("I", 8); ("K", 6) ] matvec_src in
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "loops"
+    [ ("i", 8); ("k", 6) ] (D.loops dir);
+  check Alcotest.int "outs" 1 (List.length dir.D.outs);
+  check Alcotest.int "inps" 2 (List.length dir.D.inps);
+  check (Alcotest.list Alcotest.string) "combine ops" [ "cc"; "pw(add)" ]
+    (List.map Combine.name dir.D.combine_ops)
+
+let test_parse_matches_embedded_directive () =
+  (* the parsed MatVec and the embedded-API MatVec produce identical
+     representations *)
+  let parsed =
+    Mdh_directive.Transform.to_md_hom_exn
+      (parse_ok ~params:[ ("I", 8); ("K", 6) ] matvec_src)
+  in
+  let embedded =
+    Mdh_workloads.Workload.to_md_hom Mdh_workloads.Linalg.matvec [ ("I", 8); ("K", 6) ]
+  in
+  check (Alcotest.array Alcotest.int) "sizes" embedded.Mdh_core.Md_hom.sizes
+    parsed.Mdh_core.Md_hom.sizes;
+  let env = Mdh_workloads.Linalg.matvec.Mdh_workloads.Workload.gen [ ("I", 8); ("K", 6) ] ~seed:3 in
+  let a = Mdh_core.Semantics.exec parsed env in
+  let b = Mdh_core.Semantics.exec embedded env in
+  check Alcotest.bool "same results" true
+    (Dense.equal (Buffer.data (Buffer.env_find a "w")) (Buffer.data (Buffer.env_find b "w")))
+
+let test_parse_declared_shapes () =
+  let src =
+    {|
+#pragma mdh out(res : fp32) inp(img : fp32[4, 9, 9, 2], flt : fp32) \
+            combine_ops(cc, cc, pw(add))
+for (n = 0; n < 4; n++)
+  for (p = 0; p < 4; p++)
+    for (r = 0; r < 3; r++)
+      res[n, p] = img[n, 2 * p + r, r, 0] * flt[r];
+|}
+  in
+  let dir = parse_ok src in
+  let md = Mdh_directive.Transform.to_md_hom_exn dir in
+  let img = Option.get (Mdh_core.Md_hom.find_input md "img") in
+  check (Alcotest.array Alcotest.int) "declared shape kept" [| 4; 9; 9; 2 |]
+    img.Mdh_core.Md_hom.inp_shape
+
+let test_parse_stencil_with_floats () =
+  let src =
+    {|
+#pragma mdh out(y : fp32) inp(x : fp32) combine_ops(cc)
+for (i = 0; i < 10; i++)
+  y[i] = 0.25 * x[i] + 0.5 * x[i + 1] + 0.25 * x[i + 2];
+|}
+  in
+  let md = Mdh_directive.Transform.to_md_hom_exn (parse_ok src) in
+  (* all-fp32 buffers: float literals are fp32, so this type-checks *)
+  let x = Option.get (Mdh_core.Md_hom.find_input md "x") in
+  check Alcotest.int "3 accesses" 3 (List.length x.Mdh_core.Md_hom.accesses);
+  check (Alcotest.array Alcotest.int) "padded" [| 12 |] x.Mdh_core.Md_hom.inp_shape
+
+let test_parse_braces_and_let () =
+  let src =
+    {|
+#pragma mdh out(w : fp32) inp(M : fp32, v : fp32) combine_ops(cc, pw(add))
+for (i = 0; i < 4; i++) {
+  for (k = 0; k < 3; k++) {
+    let t = M[i, k];
+    w[i] = t * v[k];
+  }
+}
+|}
+  in
+  let dir = parse_ok src in
+  check Alcotest.bool "validates" true (Mdh_directive.Validate.run dir = Ok ());
+  check Alcotest.int "two statements" 2 (List.length (D.stmts dir))
+
+let test_parse_ternary_min_cast () =
+  let src =
+    {|
+#pragma mdh out(y : fp32) inp(x : fp32) combine_ops(pw(max))
+for (i = 0; i < 9; i++)
+  y[0] = x[i] < 0.0 ? -x[i] : min(x[i], (fp32) 1);
+|}
+  in
+  let dir = parse_ok src in
+  check Alcotest.bool "validates" true (Mdh_directive.Validate.run dir = Ok ());
+  let md = Mdh_directive.Transform.to_md_hom_exn dir in
+  let rng = Mdh_support.Rng.create 4 in
+  let env =
+    Buffer.env_of_list [ Mdh_workloads.Workload.float_buffer "x" rng [| 9 |] ]
+  in
+  let out = Mdh_core.Semantics.exec md env in
+  let y = Scalar.to_float (Dense.get (Buffer.data (Buffer.env_find out "y")) [| 0 |]) in
+  check Alcotest.bool "max of clamped absolutes in [0,1]" true (y >= 0.0 && y <= 1.0)
+
+let test_parse_ps_operator () =
+  let src =
+    {|
+#pragma mdh out(b : fp32) inp(a : fp32) combine_ops(ps(add), cc)
+for (i = 0; i < 6; i++)
+  for (j = 0; j < 3; j++)
+    b[i, j] = a[i, j];
+|}
+  in
+  let md = Mdh_directive.Transform.to_md_hom_exn (parse_ok src) in
+  check Alcotest.bool "ps parsed" true
+    (match md.Mdh_core.Md_hom.combine_ops.(0) with
+    | Combine.Ps _ -> true
+    | _ -> false)
+
+let test_imperfect_nest_parses_then_rejected () =
+  let src =
+    {|
+#pragma mdh out(w : fp32) inp(v : fp32) combine_ops(cc, pw(add))
+for (i = 0; i < 4; i++) {
+  w[i] = v[0];
+  for (k = 0; k < 3; k++)
+    w[i] = v[k];
+}
+|}
+  in
+  let dir = parse_ok src in
+  match Mdh_directive.Validate.run dir with
+  | Error { Mdh_directive.Validate.kind = Mdh_directive.Validate.Imperfect_nest; _ } -> ()
+  | _ -> Alcotest.fail "expected the validator to reject the imperfect nest"
+
+(* --- parser: errors with positions --- *)
+
+let expect_error_containing ?params src fragment =
+  let e = parse_err ?params src in
+  let msg = Parser.error_to_string e in
+  check Alcotest.bool (Printf.sprintf "%S in %S" fragment msg) true
+    (Test_util.contains msg fragment)
+
+let test_error_missing_out () =
+  expect_error_containing
+    "#pragma mdh inp(v : fp32) combine_ops(cc)\nfor (i = 0; i < 4; i++) w[i] = v[i];"
+    "out(...)"
+
+let test_error_unknown_type () =
+  expect_error_containing
+    "#pragma mdh out(w : float16) combine_ops(cc)\nfor (i = 0; i < 4; i++) w[i] = 1.0;"
+    "float16"
+
+let test_error_unknown_combine_op () =
+  expect_error_containing
+    "#pragma mdh out(w : fp32) combine_ops(scan)\nfor (i = 0; i < 4; i++) w[i] = 1.0;"
+    "scan"
+
+let test_error_custom_fn_hint () =
+  expect_error_containing
+    "#pragma mdh out(w : fp32) combine_ops(pw(prl_max))\nfor (i = 0; i < 4; i++) w[i] = 1.0;"
+    "embedded API"
+
+let test_error_nonzero_lower_bound () =
+  expect_error_containing
+    "#pragma mdh out(w : fp32) combine_ops(cc)\nfor (i = 1; i < 4; i++) w[i] = 1.0;"
+    "start at 0"
+
+let test_error_wrong_loop_var () =
+  expect_error_containing
+    "#pragma mdh out(w : fp32) combine_ops(cc)\nfor (i = 0; j < 4; i++) w[i] = 1.0;"
+    "loop condition"
+
+let test_error_unknown_param () =
+  expect_error_containing
+    "#pragma mdh out(w : fp32) combine_ops(cc)\nfor (i = 0; i < N; i++) w[i] = 1.0;"
+    "parameter"
+
+let test_error_unknown_identifier () =
+  expect_error_containing
+    "#pragma mdh out(w : fp32) combine_ops(cc)\nfor (i = 0; i < 4; i++) w[i] = q;"
+    "\"q\""
+
+let test_error_undeclared_buffer_access () =
+  expect_error_containing
+    "#pragma mdh out(w : fp32) combine_ops(cc)\nfor (i = 0; i < 4; i++) w[i] = z[i];"
+    "not declared"
+
+let test_error_position_is_meaningful () =
+  let e =
+    parse_err
+      "#pragma mdh out(w : fp32) combine_ops(cc)\nfor (i = 0; i < 4; i++)\n  w[i] = ;"
+  in
+  check Alcotest.int "error on line 3" 3 e.Parser.pos.Token.line
+
+(* --- parser totality: no input may crash it --- *)
+
+let prop_parser_total_on_noise =
+  QCheck2.Test.make ~name:"parser is total on arbitrary text" ~count:500
+    QCheck2.Gen.(string_size ~gen:printable (int_range 0 200))
+    (fun src ->
+      match Parser.parse src with Ok _ | Error _ -> true)
+
+let prop_parser_total_on_mutations =
+  (* valid programs with random single-character mutations must parse or
+     fail cleanly, never raise *)
+  QCheck2.Test.make ~name:"parser is total on mutated programs" ~count:500
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 255))
+    (fun (pos, byte) ->
+      let src = Bytes.of_string matvec_src in
+      Bytes.set src (pos mod Bytes.length src) (Char.chr byte);
+      match Parser.parse ~params:[ ("I", 4); ("K", 4) ] (Bytes.to_string src) with
+      | Ok _ | Error _ -> true)
+
+(* --- the full paper listings, textually --- *)
+
+let test_full_mcc_listing () =
+  (* Listing 12, as a pragma over C loops, at test sizes *)
+  let src =
+    {|
+#pragma mdh out(res : fp32) \
+            inp(img : fp32[2, 8, 5, 2], flt : fp32) \
+            combine_ops(cc, cc, cc, cc, pw(add), pw(add), pw(add))
+for (n = 0; n < N; n++)
+ for (p = 0; p < P; p++)
+  for (q = 0; q < Q; q++)
+   for (k = 0; k < K; k++)
+    for (r = 0; r < R; r++)
+     for (s = 0; s < S; s++)
+      for (c = 0; c < C; c++)
+       res[n, p, q, k] = img[n, 2 * p + r, 2 * q + s, c] * flt[k, r, s, c];
+|}
+  in
+  let params =
+    [ ("N", 2); ("P", 3); ("Q", 2); ("K", 3); ("R", 3); ("S", 2); ("C", 2) ]
+  in
+  let dir = parse_ok ~params src in
+  let md = Mdh_directive.Transform.to_md_hom_exn dir in
+  let env = Mdh_workloads.Deep_learning.mcc.Mdh_workloads.Workload.gen params ~seed:5 in
+  let got = Mdh_core.Semantics.exec md env in
+  let expected =
+    (Option.get Mdh_workloads.Deep_learning.mcc.Mdh_workloads.Workload.reference) params env
+  in
+  check Alcotest.bool "pragma MCC = workload MCC" true
+    (Dense.approx_equal ~rel:1e-3 ~abs:1e-4
+       (Buffer.data (Buffer.env_find got "res"))
+       (Buffer.data (Buffer.env_find expected "res")))
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "pragma",
+    [ tc "lexer tokens" `Quick test_lexer_tokens;
+      tc "lexer comments" `Quick test_lexer_comments;
+      tc "lexer positions" `Quick test_lexer_positions;
+      tc "lexer stray char" `Quick test_lexer_rejects_stray_char;
+      tc "lexer line continuation" `Quick test_lexer_line_continuation;
+      tc "parse matvec structure" `Quick test_parse_matvec_structure;
+      tc "parse = embedded API" `Quick test_parse_matches_embedded_directive;
+      tc "parse declared shapes" `Quick test_parse_declared_shapes;
+      tc "parse stencil floats" `Quick test_parse_stencil_with_floats;
+      tc "parse braces and let" `Quick test_parse_braces_and_let;
+      tc "parse ternary/min/cast" `Quick test_parse_ternary_min_cast;
+      tc "parse ps operator" `Quick test_parse_ps_operator;
+      tc "imperfect nest rejected downstream" `Quick
+        test_imperfect_nest_parses_then_rejected;
+      tc "error: missing out" `Quick test_error_missing_out;
+      tc "error: unknown type" `Quick test_error_unknown_type;
+      tc "error: unknown combine op" `Quick test_error_unknown_combine_op;
+      tc "error: custom fn hint" `Quick test_error_custom_fn_hint;
+      tc "error: nonzero lower bound" `Quick test_error_nonzero_lower_bound;
+      tc "error: wrong loop var" `Quick test_error_wrong_loop_var;
+      tc "error: unknown param" `Quick test_error_unknown_param;
+      tc "error: unknown identifier" `Quick test_error_unknown_identifier;
+      tc "error: undeclared buffer" `Quick test_error_undeclared_buffer_access;
+      tc "error: position" `Quick test_error_position_is_meaningful;
+      QCheck_alcotest.to_alcotest prop_parser_total_on_noise;
+      QCheck_alcotest.to_alcotest prop_parser_total_on_mutations;
+      tc "full MCC listing" `Quick test_full_mcc_listing ] )

@@ -1,0 +1,212 @@
+(* Tests for the evaluation-report generators: the regenerated tables must
+   carry the paper's structure and key findings (row coverage, the typed
+   failure cells, the headline speedup directions), so the figures cannot
+   silently regress. *)
+
+module Table = Mdh_support.Table
+module Device = Mdh_machine.Device
+open Mdh_reports
+
+let check = Alcotest.check
+
+let speedup_of cell =
+  (* "5.39x" -> 5.39; fails the test on a FAIL/n-a cell *)
+  match float_of_string_opt (String.sub cell 0 (String.length cell - 1)) with
+  | Some x -> x
+  | None -> Alcotest.failf "not a speedup cell: %S" cell
+
+let find_row table ~computation ~inp =
+  let rows = Table.rows table in
+  match
+    List.find_index
+      (fun cells ->
+        match cells with
+        | c :: i :: _ -> String.equal c computation && String.equal i inp
+        | _ -> false)
+      rows
+  with
+  | Some i -> i
+  | None -> Alcotest.failf "no row %s/%s" computation inp
+
+(* --- Figure 3 --- *)
+
+let fig3 = lazy (Figure3.table ())
+
+let test_figure3_shape () =
+  let t = Lazy.force fig3 in
+  check (Alcotest.list Alcotest.string) "headers"
+    [ "Computation"; "Iter. Space"; "Red. Dim."; "Data Acc."; "Inp."; "Sizes";
+      "Basic Type"; "Domain" ]
+    (Table.headers t);
+  (* 11 computations, 20 input rows *)
+  check Alcotest.int "rows" 20 (List.length (Table.rows t))
+
+let test_figure3_key_cells () =
+  let t = Lazy.force fig3 in
+  check Alcotest.string "dot injective" "Inj." (Table.cell t ~row:0 ~col:"Data Acc.");
+  check Alcotest.string "dot 1D" "1D" (Table.cell t ~row:0 ~col:"Iter. Space");
+  (* MCC_Caps is the 10D row (figure-3 rows carry the name on the first
+     input row only) *)
+  let caps =
+    match
+      List.find_index (fun cells -> List.hd cells = "MCC_Caps") (Table.rows t)
+    with
+    | Some i -> i
+    | None -> Alcotest.fail "no MCC_Caps row"
+  in
+  check Alcotest.string "caps 10D" "10D" (Table.cell t ~row:caps ~col:"Iter. Space")
+
+(* --- Figure 4 --- *)
+
+let fig4_gpu = lazy (Figure4.table Device.a100_like)
+let fig4_cpu = lazy (Figure4.table Device.xeon6140_like)
+
+let test_figure4_row_coverage () =
+  (* every Figure 3 computation/input appears on both devices *)
+  List.iter
+    (fun t ->
+      check Alcotest.int "20 rows" 20 (List.length (Table.rows t)))
+    [ Lazy.force fig4_gpu; Lazy.force fig4_cpu ]
+
+let test_figure4_gpu_failures () =
+  let t = Lazy.force fig4_gpu in
+  let dot = find_row t ~computation:"Dot" ~inp:"1" in
+  check Alcotest.string "ppcg dot" "FAIL:no-par" (Table.cell t ~row:dot ~col:"PPCG");
+  let mcc = find_row t ~computation:"MCC" ~inp:"1" in
+  check Alcotest.string "ppcg mcc" "FAIL:resources" (Table.cell t ~row:mcc ~col:"PPCG");
+  let prl = find_row t ~computation:"PRL" ~inp:"1" in
+  check Alcotest.string "tvm prl" "FAIL:reducer" (Table.cell t ~row:prl ~col:"TVM");
+  check Alcotest.string "no vendor prl" "n/a" (Table.cell t ~row:prl ~col:"cuBLAS/cuDNN")
+
+let test_figure4_cpu_failures () =
+  let t = Lazy.force fig4_cpu in
+  let prl = find_row t ~computation:"PRL" ~inp:"1" in
+  check Alcotest.string "pluto prl" "FAIL:polyhedra" (Table.cell t ~row:prl ~col:"Pluto")
+
+let test_figure4_headline_directions () =
+  let gpu = Lazy.force fig4_gpu in
+  (* CCSD(T) vs OpenACC: the paper's >150x *)
+  let ccsdt = find_row gpu ~computation:"CCSD(T)" ~inp:"1" in
+  check Alcotest.bool "openacc ccsdt huge" true
+    (speedup_of (Table.cell gpu ~row:ccsdt ~col:"OpenACC") > 100.0);
+  (* vendor competitive on square matmul, beaten on the DL shapes *)
+  let mm1 = find_row gpu ~computation:"MatMul" ~inp:"1" in
+  let vendor_sq = speedup_of (Table.cell gpu ~row:mm1 ~col:"cuBLAS/cuDNN") in
+  check Alcotest.bool "vendor square competitive" true (vendor_sq > 0.7 && vendor_sq < 1.3);
+  let mmt = find_row gpu ~computation:"MatMul^T" ~inp:"1" in
+  check Alcotest.bool "vendor beaten off-shape" true
+    (speedup_of (Table.cell gpu ~row:mmt ~col:"cuBLAS/cuDNN") > 2.0);
+  (* PRL shape study *)
+  let prl1 = find_row gpu ~computation:"PRL" ~inp:"1" in
+  let prl2 = find_row gpu ~computation:"PRL" ~inp:"2" in
+  check Alcotest.bool "prl inp1 >> inp2" true
+    (speedup_of (Table.cell gpu ~row:prl1 ~col:"OpenACC")
+    > 4.0 *. speedup_of (Table.cell gpu ~row:prl2 ~col:"OpenACC"))
+
+let test_figure4_no_baseline_beats_mdh () =
+  List.iter
+    (fun (t, cols) ->
+      List.iteri
+        (fun row cells ->
+          ignore cells;
+          List.iter
+            (fun col ->
+              let cell = Table.cell t ~row ~col in
+              if String.length cell > 0 && cell.[String.length cell - 1] = 'x' then
+                check Alcotest.bool
+                  (Printf.sprintf "row %d %s >= 0.95" row col)
+                  true
+                  (speedup_of cell >= 0.95))
+            cols)
+        (Table.rows t))
+    [ (Lazy.force fig4_gpu, [ "OpenACC"; "PPCG"; "PPCG(ATF)"; "TVM" ]);
+      (Lazy.force fig4_cpu, [ "OpenMP"; "Pluto"; "Pluto(ATF)"; "Numba"; "TVM" ]) ]
+
+(* --- failure matrix --- *)
+
+let test_failure_matrix () =
+  let t = Failures.table () in
+  (* 11 figure-3 workloads + MBBS + Jacobi1D *)
+  check Alcotest.int "rows" 13 (List.length (Table.rows t));
+  let row name =
+    match
+      List.find_index (fun cells -> List.hd cells = name) (Table.rows t)
+    with
+    | Some i -> i
+    | None -> Alcotest.failf "no row %s" name
+  in
+  check Alcotest.string "MDH compiles everything" "ok"
+    (Table.cell t ~row:(row "MBBS") ~col:"MDH");
+  check Alcotest.string "TVM rejects MBBS" "FAIL:reducer"
+    (Table.cell t ~row:(row "MBBS") ~col:"TVM");
+  check Alcotest.string "vendor n/a for stencils" "n/a"
+    (Table.cell t ~row:(row "Jacobi_3D") ~col:"Vendor")
+
+(* --- prl study --- *)
+
+let test_prl_study_occupancy () =
+  let t = Prl_study.table () in
+  (* MDH keeps two orders of magnitude more units busy than OpenACC on Inp.1 *)
+  let rows = Table.rows t in
+  let units system inp =
+    match
+      List.find_opt
+        (fun cells -> List.nth cells 4 = system && List.hd cells = inp)
+        rows
+    with
+    | Some cells -> int_of_string (List.nth cells 7)
+    | None -> Alcotest.failf "no %s row" system
+  in
+  check Alcotest.bool "MDH >> OpenACC units on Inp.1" true
+    (units "MDH" "1" > 50 * units "OpenACC" "1")
+
+(* --- portability scores --- *)
+
+let test_portability_scores () =
+  let scores = Portability.scores () in
+  let find name = List.find (fun s -> s.Portability.system = name) scores in
+  let mdh = find "MDH" in
+  check Alcotest.int "MDH supports everything" mdh.Portability.total
+    mdh.Portability.supported;
+  check Alcotest.bool "MDH strict PP near 1" true (mdh.Portability.strict > 0.9);
+  (* every baseline misses cases (wrong device or typed failure), so strict
+     PP collapses to 0 — the portability argument *)
+  List.iter
+    (fun s ->
+      if s.Portability.system <> "MDH" then begin
+        check Alcotest.bool (s.Portability.system ^ " strict 0") true
+          (s.Portability.strict = 0.0);
+        check Alcotest.bool
+          (s.Portability.system ^ " supported-case PP below MDH")
+          true
+          (s.Portability.supported_only < mdh.Portability.strict)
+      end)
+    scores
+
+(* --- transfer study --- *)
+
+let test_transfer_study () =
+  let t = Transfer_study.table () in
+  let slowdown computation inp =
+    let row = find_row t ~computation ~inp in
+    speedup_of (Table.cell t ~row ~col:"slowdown")
+  in
+  (* streaming kernels are transfer-dominated; compute-dense ones amortise *)
+  check Alcotest.bool "dot transfer-dominated" true (slowdown "Dot" "1" > 20.0);
+  check Alcotest.bool "square matmul amortises" true (slowdown "MatMul" "1" < 5.0);
+  check Alcotest.bool "prl amortises" true (slowdown "PRL" "2" < 2.0)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "reports",
+    [ tc "figure3 shape" `Quick test_figure3_shape;
+      tc "figure3 key cells" `Quick test_figure3_key_cells;
+      tc "figure4 row coverage" `Slow test_figure4_row_coverage;
+      tc "figure4 gpu failures" `Slow test_figure4_gpu_failures;
+      tc "figure4 cpu failures" `Slow test_figure4_cpu_failures;
+      tc "figure4 headline directions" `Slow test_figure4_headline_directions;
+      tc "figure4 no baseline beats MDH" `Slow test_figure4_no_baseline_beats_mdh;
+      tc "failure matrix" `Quick test_failure_matrix;
+      tc "prl study occupancy" `Slow test_prl_study_occupancy;
+      tc "portability scores" `Slow test_portability_scores;
+      tc "transfer study directions" `Slow test_transfer_study ] )

@@ -1,0 +1,204 @@
+(* Unit and property tests for Mdh_support: rng, stats, table, util. *)
+
+open Mdh_support
+
+let check = Alcotest.check
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 10 (fun _ -> Rng.next_int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.next_int64 b) in
+  check Alcotest.bool "different streams" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    check Alcotest.bool "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in r (-5) 5 in
+    check Alcotest.bool "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 2.5 in
+    check Alcotest.bool "in range" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 99 in
+  let child = Rng.split parent in
+  let xs = List.init 5 (fun _ -> Rng.next_int64 parent) in
+  let ys = List.init 5 (fun _ -> Rng.next_int64 child) in
+  check Alcotest.bool "children diverge" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_rng_invalid () =
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int (Rng.create 1) 0))
+
+let test_mean_simple () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |])
+
+let test_mean_empty () = check (Alcotest.float 1e-9) "mean []" 0.0 (Stats.mean [||])
+
+let test_variance () =
+  (* sample variance of 2,4,4,4,5,5,7,9 is 4.571428... *)
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check (Alcotest.float 1e-6) "variance" (32.0 /. 7.0) (Stats.variance xs)
+
+let test_variance_singleton () =
+  check (Alcotest.float 1e-9) "variance [x]" 0.0 (Stats.variance [| 5.0 |])
+
+let test_median_odd () =
+  check (Alcotest.float 1e-9) "median odd" 3.0 (Stats.median [| 5.0; 3.0; 1.0 |])
+
+let test_median_even () =
+  check (Alcotest.float 1e-9) "median even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_ci99_shrinks () =
+  let tight = Array.make 100 1.0 in
+  check (Alcotest.float 1e-9) "ci of constant" 0.0 (Stats.ci99_halfwidth tight);
+  let loose = Array.init 100 (fun i -> if i mod 2 = 0 then 0.0 else 2.0) in
+  check Alcotest.bool "ci positive for spread" true (Stats.ci99_halfwidth loose > 0.0)
+
+let test_measure_until_ci_constant () =
+  let calls = ref 0 in
+  let m = Stats.measure_until_ci (fun () -> incr calls; 1.0) in
+  check Alcotest.int "min samples" 5 m.samples;
+  check (Alcotest.float 1e-9) "mean" 1.0 m.mean
+
+let test_measure_until_ci_converges () =
+  let r = Rng.create 11 in
+  let m =
+    Stats.measure_until_ci ~rel_ci:0.2 ~max_samples:2000 (fun () ->
+        10.0 +. Rng.gaussian r)
+  in
+  check Alcotest.bool "converged within budget" true (m.samples < 2000);
+  check Alcotest.bool "ci within bound" true (m.ci99 <= 0.2 *. m.mean)
+
+let test_measure_until_ci_respects_max () =
+  let r = Rng.create 21 in
+  (* wildly noisy samples never converge: the cap must stop the loop *)
+  let m =
+    Stats.measure_until_ci ~rel_ci:0.0001 ~max_samples:37 (fun () ->
+        Rng.float r 1000.0)
+  in
+  check Alcotest.int "capped" 37 m.samples
+
+let test_table_cell_accessors () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "y"; "2" ];
+  check (Alcotest.list (Alcotest.list Alcotest.string)) "rows skip separators"
+    [ [ "x"; "1" ]; [ "y"; "2" ] ]
+    (Table.rows t);
+  check Alcotest.string "cell" "2" (Table.cell t ~row:1 ~col:"b");
+  Alcotest.check_raises "bad col" (Invalid_argument "Table.cell: no column \"c\"")
+    (fun () -> ignore (Table.cell t ~row:0 ~col:"c"))
+
+let test_product () =
+  check Alcotest.int "product" 24 (Util.product [| 2; 3; 4 |]);
+  check Alcotest.int "empty product" 1 (Util.product [||])
+
+let test_divisors () =
+  check (Alcotest.list Alcotest.int) "divisors 12" [ 1; 2; 3; 4; 6; 12 ]
+    (Util.divisors 12);
+  check (Alcotest.list Alcotest.int) "divisors 1" [ 1 ] (Util.divisors 1);
+  check (Alcotest.list Alcotest.int) "divisors 16" [ 1; 2; 4; 8; 16 ] (Util.divisors 16)
+
+let test_ceil_div () =
+  check Alcotest.int "7/2" 4 (Util.ceil_div 7 2);
+  check Alcotest.int "8/2" 4 (Util.ceil_div 8 2);
+  check Alcotest.int "0/3" 0 (Util.ceil_div 0 3)
+
+let test_pow2_up_to () =
+  check (Alcotest.list Alcotest.int) "pow2 10" [ 1; 2; 4; 8 ] (Util.pow2_up_to 10);
+  check (Alcotest.list Alcotest.int) "pow2 1" [ 1 ] (Util.pow2_up_to 1)
+
+let test_float_equal () =
+  check Alcotest.bool "close" true (Util.float_equal 1.0 (1.0 +. 1e-9));
+  check Alcotest.bool "far" false (Util.float_equal 1.0 1.1)
+
+let test_string_of_dims () =
+  check Alcotest.string "dims" "4096x4096" (Util.string_of_dims [| 4096; 4096 |])
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "dot"; "1.5" ];
+  Table.add_row t [ "matmul"; "12.25" ];
+  let s = Table.render t in
+  check Alcotest.bool "contains row" true
+    (Test_util.contains s "dot" && Test_util.contains s "12.25")
+
+let test_table_arity () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+(* qcheck properties *)
+
+let prop_divisors_divide =
+  QCheck2.Test.make ~name:"divisors all divide" ~count:200
+    QCheck2.Gen.(int_range 1 5000)
+    (fun n -> List.for_all (fun d -> n mod d = 0) (Mdh_support.Util.divisors n))
+
+let prop_ceil_div =
+  QCheck2.Test.make ~name:"ceil_div bounds" ~count:500
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 1000))
+    (fun (a, b) ->
+      let q = Mdh_support.Util.ceil_div a b in
+      (q * b >= a) && ((q - 1) * b < a || q = 0))
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "support",
+    [ tc "rng deterministic" `Quick test_rng_deterministic;
+      tc "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+      tc "rng int bounds" `Quick test_rng_int_bounds;
+      tc "rng int_in bounds" `Quick test_rng_int_in;
+      tc "rng float bounds" `Quick test_rng_float_bounds;
+      tc "rng split independent" `Quick test_rng_split_independent;
+      tc "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+      tc "rng invalid bound" `Quick test_rng_invalid;
+      tc "stats mean" `Quick test_mean_simple;
+      tc "stats mean empty" `Quick test_mean_empty;
+      tc "stats variance" `Quick test_variance;
+      tc "stats variance singleton" `Quick test_variance_singleton;
+      tc "stats median odd" `Quick test_median_odd;
+      tc "stats median even" `Quick test_median_even;
+      tc "stats ci99" `Quick test_ci99_shrinks;
+      tc "stats measure constant" `Quick test_measure_until_ci_constant;
+      tc "stats measure converges" `Quick test_measure_until_ci_converges;
+      tc "stats measure respects cap" `Quick test_measure_until_ci_respects_max;
+      tc "table cell accessors" `Quick test_table_cell_accessors;
+      tc "util product" `Quick test_product;
+      tc "util divisors" `Quick test_divisors;
+      tc "util ceil_div" `Quick test_ceil_div;
+      tc "util pow2_up_to" `Quick test_pow2_up_to;
+      tc "util float_equal" `Quick test_float_equal;
+      tc "util string_of_dims" `Quick test_string_of_dims;
+      tc "table render" `Quick test_table_render;
+      tc "table arity" `Quick test_table_arity;
+      QCheck_alcotest.to_alcotest prop_divisors_divide;
+      QCheck_alcotest.to_alcotest prop_ceil_div ] )

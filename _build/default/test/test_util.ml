@@ -1,0 +1,27 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec loop i =
+      if i + nn > hn then false
+      else if String.sub haystack i nn = needle then true
+      else loop (i + 1)
+    in
+    loop 0
+  end
+
+let scalar_value : Mdh_tensor.Scalar.value Alcotest.testable =
+  Alcotest.testable Mdh_tensor.Scalar.pp_value Mdh_tensor.Scalar.equal
+
+let scalar_approx : Mdh_tensor.Scalar.value Alcotest.testable =
+  Alcotest.testable Mdh_tensor.Scalar.pp_value
+    (Mdh_tensor.Scalar.approx_equal ~rel:1e-5 ~abs:1e-6)
+
+let dense : Mdh_tensor.Dense.t Alcotest.testable =
+  Alcotest.testable Mdh_tensor.Dense.pp Mdh_tensor.Dense.equal
+
+let dense_approx : Mdh_tensor.Dense.t Alcotest.testable =
+  Alcotest.testable Mdh_tensor.Dense.pp
+    (Mdh_tensor.Dense.approx_equal ~rel:1e-4 ~abs:1e-5)
