@@ -11,11 +11,18 @@
      dune exec bench/main.exe ablation-tiling
      dune exec bench/main.exe ablation-reduction-parallel
      dune exec bench/main.exe ablation-tuning-budget
-     dune exec bench/main.exe micro             -- Bechamel kernels *)
+     dune exec bench/main.exe micro             -- Bechamel kernels
+
+   Tuning results are cached: cost-model verdicts in memory, tuned
+   schedules persistently (default ~/.cache/mdh/tuning.db, or
+   --tuning-db PATH / $MDH_TUNING_DB), so warm re-runs skip the schedule
+   search entirely. --no-cache disables both and records nothing; the
+   [tuning] trailer reports what the run actually evaluated. *)
 
 let usage () =
   print_endline
-    "usage: main.exe [figure3|figure4 [gpu|cpu]|failure-matrix|prl-study|\n\
+    "usage: main.exe [--no-cache] [--tuning-db PATH]\n\
+    \                [figure3|figure4 [gpu|cpu]|failure-matrix|prl-study|\n\
     \                 ablation-openacc-tiling|ablation-tiling|\n\
     \                 ablation-reduction-parallel|ablation-tuning-budget|micro]";
   exit 2
@@ -31,21 +38,64 @@ let everything () =
   Calibrate.run ();
   Micro.run ()
 
+(* strip the cache flags (position-independent) before command dispatch *)
+let rec extract_cache_flags ~no_cache ~db_path = function
+  | [] -> (no_cache, db_path, [])
+  | "--no-cache" :: rest -> extract_cache_flags ~no_cache:true ~db_path rest
+  | "--tuning-db" :: path :: rest -> extract_cache_flags ~no_cache ~db_path:(Some path) rest
+  | "--tuning-db" :: [] -> usage ()
+  | arg :: rest ->
+    let no_cache, db_path, args = extract_cache_flags ~no_cache ~db_path rest in
+    (no_cache, db_path, arg :: args)
+
+let setup_cache ~no_cache ~db_path =
+  if no_cache then Mdh_atf.Cost_cache.set_enabled false
+  else
+    let path =
+      match db_path with
+      | Some path -> path
+      | None -> Mdh_atf.Tuning_db.default_path ()
+    in
+    Mdh_atf.Tuning_db.set_ambient (Some (Mdh_atf.Tuning_db.open_db path))
+
+let print_tuning_stats elapsed =
+  let cost = Mdh_atf.Cost_cache.stats () in
+  Printf.printf
+    "[tuning] cost-model evaluations: %d (in-memory cache hits: %d) in %.2fs\n"
+    cost.Mdh_support.Memo.n_misses cost.Mdh_support.Memo.n_hits elapsed;
+  match Mdh_atf.Tuning_db.ambient () with
+  | None -> ()
+  | Some db ->
+    let stats = Mdh_atf.Tuning_db.stats db in
+    Printf.printf "[tuning] db %s: %d/%d searches recalled (%d entries)\n"
+      (Mdh_atf.Tuning_db.path db) stats.Mdh_atf.Tuning_db.n_hits
+      stats.Mdh_atf.Tuning_db.n_lookups stats.Mdh_atf.Tuning_db.n_entries
+
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> everything ()
-  | [ _; "figure3" ] -> Mdh_reports.Figure3.run ()
-  | [ _; "figure4" ] -> Mdh_reports.Figure4.run `Both
-  | [ _; "figure4"; "gpu" ] | [ _; "figure4"; "--device"; "gpu" ] -> Mdh_reports.Figure4.run `Gpu
-  | [ _; "figure4"; "cpu" ] | [ _; "figure4"; "--device"; "cpu" ] -> Mdh_reports.Figure4.run `Cpu
-  | [ _; "failure-matrix" ] -> Mdh_reports.Failures.run ()
-  | [ _; "prl-study" ] -> Mdh_reports.Prl_study.run ()
-  | [ _; "portability" ] -> Mdh_reports.Portability.run ()
-  | [ _; "transfer-study" ] -> Mdh_reports.Transfer_study.run ()
-  | [ _; "ablation-openacc-tiling" ] -> Mdh_reports.Ablations.openacc_tiling ()
-  | [ _; "ablation-tiling" ] -> Mdh_reports.Ablations.tiling ()
-  | [ _; "ablation-reduction-parallel" ] -> Mdh_reports.Ablations.reduction_parallel ()
-  | [ _; "ablation-tuning-budget" ] -> Mdh_reports.Ablations.tuning_budget ()
-  | [ _; "micro" ] -> Micro.run ()
-  | [ _; "calibrate" ] -> Calibrate.run ()
+  let no_cache, db_path, args =
+    extract_cache_flags ~no_cache:false ~db_path:None (List.tl (Array.to_list Sys.argv))
+  in
+  setup_cache ~no_cache ~db_path;
+  let run body =
+    let (), elapsed = Mdh_support.Util.time_it body in
+    print_tuning_stats elapsed
+  in
+  match args with
+  | [] -> run everything
+  | [ "figure3" ] -> run Mdh_reports.Figure3.run
+  | [ "figure4" ] -> run (fun () -> Mdh_reports.Figure4.run `Both)
+  | [ "figure4"; "gpu" ] | [ "figure4"; "--device"; "gpu" ] ->
+    run (fun () -> Mdh_reports.Figure4.run `Gpu)
+  | [ "figure4"; "cpu" ] | [ "figure4"; "--device"; "cpu" ] ->
+    run (fun () -> Mdh_reports.Figure4.run `Cpu)
+  | [ "failure-matrix" ] -> run Mdh_reports.Failures.run
+  | [ "prl-study" ] -> run Mdh_reports.Prl_study.run
+  | [ "portability" ] -> run Mdh_reports.Portability.run
+  | [ "transfer-study" ] -> run Mdh_reports.Transfer_study.run
+  | [ "ablation-openacc-tiling" ] -> run Mdh_reports.Ablations.openacc_tiling
+  | [ "ablation-tiling" ] -> run Mdh_reports.Ablations.tiling
+  | [ "ablation-reduction-parallel" ] -> run Mdh_reports.Ablations.reduction_parallel
+  | [ "ablation-tuning-budget" ] -> run Mdh_reports.Ablations.tuning_budget
+  | [ "micro" ] -> run Micro.run
+  | [ "calibrate" ] -> run Calibrate.run
   | _ -> usage ()

@@ -7,6 +7,9 @@
      mdhc devices
      mdhc show matvec
      mdhc tune matmul --device cpu --budget 400
+     mdhc tune matmul --parallel --chains 4
+     mdhc tune matmul --no-cache        (ignore + don't write the tuning db)
+     mdhc tune matmul --tuning-db /tmp/t.db
      mdhc compare ccsd(t) --device gpu
      mdhc run prl --parallel *)
 
@@ -61,6 +64,47 @@ let input_arg =
 let budget_arg = Arg.(value & opt int 400 & info [ "budget"; "b" ] ~docv:"EVALS")
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED")
 let parallel_arg = Arg.(value & flag & info [ "parallel"; "p" ])
+
+let chains_arg =
+  let doc =
+    "Number of independent annealing chains (seeded SEED, SEED+1, ...) the \
+     evaluation budget is split across; with --parallel they run on \
+     separate domains. The chain count, not the pool, determines the \
+     result."
+  in
+  Arg.(value & opt int 1 & info [ "chains" ] ~doc ~docv:"K")
+
+let no_cache_arg =
+  let doc =
+    "Disable both the persistent tuning database and the in-memory \
+     cost-model cache: recompute every search from scratch and record \
+     nothing."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let tuning_db_arg =
+  let doc =
+    "Path of the persistent tuning database (default: $(b,\\$MDH_TUNING_DB) \
+     or $(b,~/.cache/mdh/tuning.db)). Warm runs recall tuned schedules \
+     from it instead of searching."
+  in
+  Arg.(value & opt (some string) None & info [ "tuning-db" ] ~doc ~docv:"PATH")
+
+(* the tuner consults the ambient database (and the cost cache) from every
+   internal call site — baselines included — so the flags configure both
+   process-wide before the command body runs *)
+let setup_cache ~no_cache ~tuning_db =
+  if no_cache then begin
+    Mdh_atf.Cost_cache.set_enabled false;
+    Mdh_atf.Tuning_db.set_ambient None
+  end
+  else
+    let path =
+      match tuning_db with
+      | Some path -> path
+      | None -> Mdh_atf.Tuning_db.default_path ()
+    in
+    Mdh_atf.Tuning_db.set_ambient (Some (Mdh_atf.Tuning_db.open_db path))
 
 (* --- commands --- *)
 
@@ -121,30 +165,50 @@ let show_cmd =
 
 let tune_cmd =
   let doc = "Auto-tune a workload's schedule with ATF and report the result." in
-  let run name device input budget seed =
+  let run name device input budget seed chains parallel no_cache tuning_db =
+    setup_cache ~no_cache ~tuning_db;
     let w = or_die (find_workload name) in
     let dev = or_die (device_of_string device) in
     let params = or_die (params_of w input) in
     let md = W.to_md_hom w params in
-    match Mdh_atf.Tuner.tune ~budget ~seed md dev Cost.tuned_codegen with
+    let tune pool =
+      Mdh_atf.Tuner.tune ~budget ~seed ~chains ?pool md dev Cost.tuned_codegen
+    in
+    let result, elapsed =
+      Mdh_support.Util.time_it (fun () ->
+          if parallel then Mdh_runtime.Pool.with_pool (fun pool -> tune (Some pool))
+          else tune None)
+    in
+    match result with
     | Error msg -> or_die (Error msg)
     | Ok t ->
       Format.printf "best schedule: %a@." Schedule.pp t.Mdh_atf.Tuner.schedule;
       Printf.printf "estimated time: %s\n"
         (Format.asprintf "%.6gs" t.Mdh_atf.Tuner.estimated_s);
-      Printf.printf "evaluations: %d, improvements: %d\n"
-        t.Mdh_atf.Tuner.search.Mdh_atf.Search.evaluations
-        (List.length t.Mdh_atf.Tuner.search.Mdh_atf.Search.trace);
-      List.iter
-        (fun (eval, cost) -> Printf.printf "  #%-5d -> %.6gs\n" eval cost)
-        t.Mdh_atf.Tuner.search.Mdh_atf.Search.trace
+      if t.Mdh_atf.Tuner.from_db then
+        Printf.printf "recalled from tuning db (0 evaluations) in %.3gs\n" elapsed
+      else begin
+        Printf.printf "evaluations: %d, improvements: %d (%.3gs wall)\n"
+          t.Mdh_atf.Tuner.search.Mdh_atf.Search.evaluations
+          (List.length t.Mdh_atf.Tuner.search.Mdh_atf.Search.trace)
+          elapsed;
+        List.iter
+          (fun (eval, cost) -> Printf.printf "  #%-5d -> %.6gs\n" eval cost)
+          t.Mdh_atf.Tuner.search.Mdh_atf.Search.trace;
+        let stats = Mdh_atf.Cost_cache.stats () in
+        Printf.printf "cost model: %d evaluations, %d cache hits\n"
+          stats.Mdh_support.Memo.n_misses stats.Mdh_support.Memo.n_hits
+      end
   in
   Cmd.v (Cmd.info "tune" ~doc)
-    Term.(const run $ workload_arg $ device_arg $ input_arg $ budget_arg $ seed_arg)
+    Term.(
+      const run $ workload_arg $ device_arg $ input_arg $ budget_arg $ seed_arg
+      $ chains_arg $ parallel_arg $ no_cache_arg $ tuning_db_arg)
 
 let compare_cmd =
   let doc = "Compare every system of the Figure 4 line-up on one workload." in
-  let run name device input =
+  let run name device input no_cache tuning_db =
+    setup_cache ~no_cache ~tuning_db;
     let w = or_die (find_workload name) in
     let dev = or_die (device_of_string device) in
     let params = or_die (params_of w input) in
@@ -166,7 +230,9 @@ let compare_cmd =
       systems
   in
   Cmd.v (Cmd.info "compare" ~doc)
-    Term.(const run $ workload_arg $ device_arg $ input_arg)
+    Term.(
+      const run $ workload_arg $ device_arg $ input_arg $ no_cache_arg
+      $ tuning_db_arg)
 
 let codegen_cmd =
   let doc = "Generate kernel source (CUDA for the GPU device, OpenCL for the \

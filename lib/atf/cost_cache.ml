@@ -1,0 +1,44 @@
+module Md_hom = Mdh_core.Md_hom
+module Device = Mdh_machine.Device
+module Cost = Mdh_lowering.Cost
+module Schedule = Mdh_lowering.Schedule
+module Memo = Mdh_support.Memo
+
+type ctx = {
+  md : Md_hom.t;
+  dev : Device.t;
+  cg : Cost.codegen;
+  include_transfers : bool option;
+  prefix : string;
+}
+
+let cache : (float, string) result Memo.t = Memo.create ()
+
+let context ?include_transfers md dev cg =
+  let prefix =
+    Memo.key
+      [ Format.asprintf "%a" Md_hom.pp md;
+        dev.Device.device_name;
+        cg.Cost.cg_name;
+        Printf.sprintf "%h" cg.Cost.base_compute_eff;
+        Printf.sprintf "%h" cg.Cost.base_bw_eff;
+        (match include_transfers with
+        | None -> "default-transfers"
+        | Some b -> string_of_bool b) ]
+  in
+  { md; dev; cg; include_transfers; prefix }
+
+let context_key ctx = ctx.prefix
+
+let schedule_key ctx schedule = Memo.key [ ctx.prefix; Schedule.to_string schedule ]
+
+let seconds ctx schedule =
+  Memo.find_or_add cache (schedule_key ctx schedule) (fun () ->
+      Cost.seconds ?include_transfers:ctx.include_transfers ctx.md ctx.dev ctx.cg
+        schedule)
+
+let set_enabled enabled = Memo.set_enabled cache enabled
+let enabled () = Memo.enabled cache
+let stats () = Memo.stats cache
+let reset_stats () = Memo.reset_stats cache
+let clear () = Memo.clear cache

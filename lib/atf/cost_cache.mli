@@ -1,0 +1,44 @@
+(** Process-wide memoization of the analytic cost model.
+
+    Tuning evaluates the same [(md_hom, device, codegen, schedule)] points
+    over and over — annealing revisits neighbours, the baselines re-tune
+    the same workloads, and `bench` sweeps the whole catalogue — so every
+    [Cost.seconds] verdict (including the "illegal schedule" errors) is
+    cached under a canonical key. The key digests the full printed MDH
+    representation plus the device name and codegen profile; the device
+    name is assumed to identify the device model.
+
+    The table is safe to consult from multiple domains, and the hit/miss
+    counters let benchmarks assert how many real cost-model evaluations a
+    run performed (the acceptance check for warm tuning-database runs). *)
+
+type ctx
+(** Everything but the schedule, pre-digested once per tuning run. *)
+
+val context :
+  ?include_transfers:bool ->
+  Mdh_core.Md_hom.t ->
+  Mdh_machine.Device.t ->
+  Mdh_lowering.Cost.codegen ->
+  ctx
+
+val context_key : ctx -> string
+(** The canonical digest of [(md_hom, device, codegen, transfers)] — the
+    tuning database builds its keys on top of this. *)
+
+val schedule_key : ctx -> Mdh_lowering.Schedule.t -> string
+
+val seconds : ctx -> Mdh_lowering.Schedule.t -> (float, string) result
+(** Memoized [Cost.seconds]. *)
+
+val set_enabled : bool -> unit
+(** Toggle the cache globally ([--no-cache]); disabled calls still count as
+    misses so evaluation counting stays meaningful. *)
+
+val enabled : unit -> bool
+
+val stats : unit -> Mdh_support.Memo.stats
+(** [n_misses] = real cost-model evaluations since the last reset. *)
+
+val reset_stats : unit -> unit
+val clear : unit -> unit

@@ -1,4 +1,5 @@
 module Rng = Mdh_support.Rng
+module Pool = Mdh_runtime.Pool
 
 type result = {
   best : Param.config;
@@ -16,9 +17,9 @@ type state = {
 
 let fresh () = { s_best = None; s_best_cost = infinity; s_evals = 0; s_trace = [] }
 
-let evaluate st cost config =
+let record st config cost =
   st.s_evals <- st.s_evals + 1;
-  match cost config with
+  match cost with
   | None -> None
   | Some c ->
     if c < st.s_best_cost then begin
@@ -28,6 +29,8 @@ let evaluate st cost config =
     end;
     Some c
 
+let evaluate st cost config = record st config (cost config)
+
 let finish st =
   match st.s_best with
   | None -> None
@@ -36,21 +39,44 @@ let finish st =
       { best; best_cost = st.s_best_cost; evaluations = st.s_evals;
         trace = List.rev st.s_trace }
 
-let exhaustive space ~cost =
+let evaluate_batch ?pool ~cost configs =
+  let n = Array.length configs in
+  match pool with
+  | Some pool when n > 1 && Pool.num_workers pool > 1 ->
+    let costs = Array.make n None in
+    Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> costs.(i) <- cost configs.(i));
+    costs
+  | _ -> Array.map cost configs
+
+(* evaluating a batch out-of-order is only observable through the state
+   updates, so fan the cost calls out and absorb them in index order: the
+   best/trace/evaluation bookkeeping is bit-identical to a sequential loop *)
+let absorb_batch ?pool st ~cost configs =
+  let costs = evaluate_batch ?pool ~cost configs in
+  Array.iteri (fun i config -> ignore (record st config costs.(i))) configs
+
+let exhaustive ?pool space ~cost =
   let st = fresh () in
-  List.iter (fun config -> ignore (evaluate st cost config)) (Space.enumerate space);
+  absorb_batch ?pool st ~cost (Array.of_list (Space.enumerate space));
   finish st
 
-let random_search space ~seed ~budget ~cost =
+let random_search ?pool space ~seed ~budget ~cost =
   let st = fresh () in
   let rng = Rng.create seed in
-  let attempts = ref 0 in
-  while st.s_evals < budget && !attempts < budget * 10 do
+  (* sampling never depends on the costs, so draw the full candidate list
+     up front (sequential rng) and evaluate it as one batch; the attempt
+     cap bounds the draw over spaces where most samples dead-end *)
+  let candidates = ref [] in
+  let drawn = ref 0 and attempts = ref 0 in
+  while !drawn < budget && !attempts < budget * 10 do
     incr attempts;
     match Space.sample space rng with
     | None -> ()
-    | Some config -> ignore (evaluate st cost config)
+    | Some config ->
+      candidates := config :: !candidates;
+      incr drawn
   done;
+  absorb_batch ?pool st ~cost (Array.of_list (List.rev !candidates));
   finish st
 
 let simulated_annealing space ~seed ~budget ~cost =
@@ -88,3 +114,34 @@ let simulated_annealing space ~seed ~budget ~cost =
         end
     done);
   finish st
+
+let simulated_annealing_portfolio ?pool space ~seeds ~budget ~cost =
+  match seeds with
+  | [] -> None
+  | [ seed ] -> simulated_annealing space ~seed ~budget ~cost
+  | seeds ->
+    let seeds = Array.of_list seeds in
+    let chains =
+      let run seed () = simulated_annealing space ~seed ~budget ~cost in
+      match pool with
+      | Some pool when Pool.num_workers pool > 1 ->
+        Pool.run_in_parallel pool (Array.map run seeds)
+      | _ -> Array.map (fun seed -> run seed ()) seeds
+    in
+    let evaluations =
+      Array.fold_left
+        (fun acc -> function Some r -> acc + r.evaluations | None -> acc)
+        0 chains
+    in
+    (* keep the best chain; ties go to the earliest seed in the list, so
+       the winner is a function of the seed list alone, parallel or not *)
+    let winner =
+      Array.fold_left
+        (fun acc chain ->
+          match (acc, chain) with
+          | None, c -> c
+          | (Some _ as a), None -> a
+          | Some a, Some c -> if c.best_cost < a.best_cost then chain else acc)
+        None chains
+    in
+    Option.map (fun r -> { r with evaluations }) winner

@@ -2,25 +2,57 @@
     for configurations the cost model rejects (illegal schedules); all
     strategies skip them. The budget counts cost evaluations — the
     reproduction's stand-in for the paper's 12-hour wall-clock tuning
-    budget. *)
+    budget.
+
+    Every strategy is deterministic in its seed(s), with or without a
+    worker pool: parallelism only changes who computes each cost, never
+    which candidates are drawn or how ties are resolved. The cost function
+    must be pure and safe to call from multiple domains. *)
 
 type result = {
   best : Param.config;
   best_cost : float;
   evaluations : int;
+      (** Cost-model evaluations this search performed; [0] marks a result
+          recalled from the tuning database without searching. *)
   trace : (int * float) list;
       (** (evaluation index, best-so-far) at every improvement *)
 }
 
-val exhaustive : Space.t -> cost:(Param.config -> float option) -> result option
+val evaluate_batch :
+  ?pool:Mdh_runtime.Pool.t ->
+  cost:(Param.config -> float option) ->
+  Param.config array ->
+  float option array
+(** Cost every configuration, fanning the evaluations across the pool when
+    one is given (order of results always matches the input order). *)
+
+val exhaustive :
+  ?pool:Mdh_runtime.Pool.t -> Space.t -> cost:(Param.config -> float option) ->
+  result option
 (** Evaluate every configuration (capped at 100k); [None] when the space has
     no valid configuration. *)
 
 val random_search :
-  Space.t -> seed:int -> budget:int -> cost:(Param.config -> float option) ->
-  result option
+  ?pool:Mdh_runtime.Pool.t -> Space.t -> seed:int -> budget:int ->
+  cost:(Param.config -> float option) -> result option
+(** Uniform sampling. Sampling is rng-only (costs never steer it), so the
+    candidate list is drawn sequentially and costed as one batch; at most
+    [10 x budget] draw attempts guard against spaces where most samples
+    dead-end. *)
 
 val simulated_annealing :
   Space.t -> seed:int -> budget:int -> cost:(Param.config -> float option) ->
   result option
-(** Random restart + neighbourhood walk with exponential cooling. *)
+(** Random restart + neighbourhood walk with exponential cooling. A single
+    chain is inherently sequential; for parallelism use
+    {!simulated_annealing_portfolio}. *)
+
+val simulated_annealing_portfolio :
+  ?pool:Mdh_runtime.Pool.t -> Space.t -> seeds:int list -> budget:int ->
+  cost:(Param.config -> float option) -> result option
+(** K independent annealing chains, one per seed, each with the given
+    per-chain budget; chains run across the pool when one is given. Keeps
+    the best chain's result (ties resolved to the earliest seed in the
+    list) with [evaluations] summed over all chains — deterministic given
+    the seed list, parallel or sequential. *)

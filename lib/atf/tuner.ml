@@ -10,6 +10,7 @@ type tuning = {
   schedule : Schedule.t;
   estimated_s : float;
   search : Search.result;
+  from_db : bool;
 }
 
 let tile_param_name d = Printf.sprintf "tile_%d" d
@@ -54,39 +55,82 @@ let space ?parallel_options (md : Md_hom.t) (dev : Device.t) =
   in
   (Space.make (tile_params @ [ par_param ]), decode)
 
-let tune ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?include_transfers
-    ?parallel_options md dev cg =
-  let sp, decode = space ?parallel_options md dev in
-  let cost config =
-    match Cost.seconds ?include_transfers md dev cg (decode config) with
-    | Ok s -> Some s
-    | Error _ -> None
-  in
-  let search_result =
-    match strategy with
-    | Exhaustive -> Search.exhaustive sp ~cost
-    | Random -> Search.random_search sp ~seed ~budget ~cost
-    | Anneal -> Search.simulated_annealing sp ~seed ~budget ~cost
-    | Auto ->
-      if Space.size ~cap:(budget + 1) sp <= budget then Search.exhaustive sp ~cost
-      else Search.simulated_annealing sp ~seed ~budget ~cost
-  in
-  match search_result with
-  | None -> Error "tuning found no legal schedule"
-  | Some search ->
-    (* floor the stochastic search at the heuristic starting point: the
-       default tiles with the first (largest) allowed parallel set *)
-    let searched = decode search.Search.best in
-    let floor_schedule =
-      { (Lower.mdh_default md dev) with
-        Schedule.parallel_dims =
-          (match parallel_options with
-          | Some (first :: _) -> first
-          | Some [] | None -> Lower.parallelisable_dims md) }
+let strategy_name = function
+  | Exhaustive -> "exhaustive"
+  | Random -> "random"
+  | Anneal -> "anneal"
+  | Auto -> "auto"
+
+let db_key ~ctx ~strategy ~budget ~seed ~chains ~parallel_options =
+  Mdh_support.Memo.key
+    [ "tune-v1";
+      Cost_cache.context_key ctx;
+      strategy_name strategy;
+      string_of_int budget;
+      string_of_int seed;
+      string_of_int chains;
+      (match parallel_options with
+      | None -> "default-par"
+      | Some options ->
+        String.concat ";"
+          (List.map
+             (fun dims -> String.concat "," (List.map string_of_int dims))
+             options)) ]
+
+let db_hit_result estimated_s =
+  { Search.best = []; best_cost = estimated_s; evaluations = 0; trace = [] }
+
+let tune ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1) ?pool
+    ?include_transfers ?parallel_options ?db md dev cg =
+  let chains = max 1 chains in
+  let ctx = Cost_cache.context ?include_transfers md dev cg in
+  let db = match db with Some _ as d -> d | None -> Tuning_db.ambient () in
+  let key = db_key ~ctx ~strategy ~budget ~seed ~chains ~parallel_options in
+  match Option.bind db (fun d -> Tuning_db.find d key) with
+  | Some (schedule, estimated_s) ->
+    Ok { schedule; estimated_s; search = db_hit_result estimated_s; from_db = true }
+  | None -> (
+    let sp, decode = space ?parallel_options md dev in
+    let cost config =
+      match Cost_cache.seconds ctx (decode config) with
+      | Ok s -> Some s
+      | Error _ -> None
     in
-    let schedule, estimated_s =
-      match Cost.seconds ?include_transfers md dev cg floor_schedule with
-      | Ok floor_s when floor_s < search.Search.best_cost -> (floor_schedule, floor_s)
-      | _ -> (searched, search.Search.best_cost)
+    let anneal () =
+      (* K independent chains splitting the budget; the seed list depends
+         only on (seed, chains), so the outcome is identical with or
+         without a pool *)
+      Search.simulated_annealing_portfolio ?pool sp
+        ~seeds:(List.init chains (fun i -> seed + i))
+        ~budget:(max 1 (budget / chains))
+        ~cost
     in
-    Ok { schedule; estimated_s; search }
+    let search_result =
+      match strategy with
+      | Exhaustive -> Search.exhaustive ?pool sp ~cost
+      | Random -> Search.random_search ?pool sp ~seed ~budget ~cost
+      | Anneal -> anneal ()
+      | Auto ->
+        if Space.size ~cap:(budget + 1) sp <= budget then Search.exhaustive ?pool sp ~cost
+        else anneal ()
+    in
+    match search_result with
+    | None -> Error "tuning found no legal schedule"
+    | Some search ->
+      (* floor the stochastic search at the heuristic starting point: the
+         default tiles with the first (largest) allowed parallel set *)
+      let searched = decode search.Search.best in
+      let floor_schedule =
+        { (Lower.mdh_default md dev) with
+          Schedule.parallel_dims =
+            (match parallel_options with
+            | Some (first :: _) -> first
+            | Some [] | None -> Lower.parallelisable_dims md) }
+      in
+      let schedule, estimated_s =
+        match Cost_cache.seconds ctx floor_schedule with
+        | Ok floor_s when floor_s < search.Search.best_cost -> (floor_schedule, floor_s)
+        | _ -> (searched, search.Search.best_cost)
+      in
+      Option.iter (fun d -> Tuning_db.store d key schedule estimated_s) db;
+      Ok { schedule; estimated_s; search; from_db = false })

@@ -5,7 +5,14 @@
 
     This is the reproduction of the paper's "fully automatic auto-tuning for
     both GPU and CPU code using ATF" (Section 5): the 12-hour wall-clock
-    budget becomes an evaluation budget against the cost model. *)
+    budget becomes an evaluation budget against the cost model.
+
+    The engine is parallel and memoizing: batch strategies fan cost
+    evaluations across a {!Mdh_runtime.Pool}, annealing runs a seeded
+    portfolio of chains, every cost verdict goes through {!Cost_cache}, and
+    finished results are recorded in a {!Tuning_db} so warm runs skip the
+    search entirely. Determinism contract: the same seed (and chains)
+    produces the same schedule, with or without a pool. *)
 
 type strategy = Exhaustive | Random | Anneal | Auto
 (** [Auto] (the default) enumerates exhaustively when the space is within
@@ -15,6 +22,9 @@ type tuning = {
   schedule : Mdh_lowering.Schedule.t;
   estimated_s : float;
   search : Search.result;
+      (** On a tuning-database hit this is synthetic: [evaluations = 0],
+          empty trace, empty best configuration. *)
+  from_db : bool;  (** The schedule was recalled, not searched. *)
 }
 
 val space :
@@ -31,12 +41,20 @@ val tune :
   ?strategy:strategy ->
   ?budget:int ->
   ?seed:int ->
+  ?chains:int ->
+  ?pool:Mdh_runtime.Pool.t ->
   ?include_transfers:bool ->
   ?parallel_options:int list list ->
+  ?db:Tuning_db.t ->
   Mdh_core.Md_hom.t ->
   Mdh_machine.Device.t ->
   Mdh_lowering.Cost.codegen ->
   (tuning, string) Stdlib.result
-(** Default budget 400 evaluations, seed 1. [Error] when no legal schedule
-    exists (cannot happen for well-formed computations: the sequential
-    schedule is always legal). *)
+(** Default budget 400 evaluations, seed 1, a single annealing chain, no
+    pool. [chains > 1] splits the budget across that many independent
+    annealing chains seeded [seed, seed+1, ...] and keeps the best — the
+    chain count (not the pool) determines the result. [db] overrides the
+    ambient tuning database ({!Tuning_db.set_ambient}); when one is in
+    effect the search is skipped on a key hit and recorded on a miss.
+    [Error] when no legal schedule exists (cannot happen for well-formed
+    computations: the sequential schedule is always legal). *)

@@ -1,0 +1,110 @@
+module Schedule = Mdh_lowering.Schedule
+
+type t = {
+  path : string;
+  entries : (string, Schedule.t * float) Hashtbl.t;
+  mutex : Mutex.t;
+  hits : int Atomic.t;
+  lookups : int Atomic.t;
+}
+
+let default_path () =
+  match Sys.getenv_opt "MDH_TUNING_DB" with
+  | Some path when path <> "" -> path
+  | _ ->
+    let cache_root =
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some dir when dir <> "" -> dir
+      | _ -> (
+        match Sys.getenv_opt "HOME" with
+        | Some home when home <> "" -> Filename.concat home ".cache"
+        | _ -> Filename.current_dir_name)
+    in
+    Filename.concat (Filename.concat cache_root "mdh") "tuning.db"
+
+(* one entry per line: key TAB estimated-seconds TAB schedule. Later lines
+   win, so appending an updated entry supersedes the old one on reload. *)
+let parse_line line =
+  match String.split_on_char '\t' line with
+  | [ key; cost; schedule ] -> (
+    match (float_of_string_opt cost, Schedule.of_string schedule) with
+    | Some cost, Ok schedule -> Some (key, (schedule, cost))
+    | _ -> None)
+  | _ -> None
+
+let load path entries =
+  if Sys.file_exists path then
+    In_channel.with_open_text path (fun ic ->
+        let rec loop () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line ->
+            (match parse_line line with
+            | Some (key, entry) -> Hashtbl.replace entries key entry
+            | None -> ());
+            loop ()
+        in
+        loop ())
+
+let open_db path =
+  let entries = Hashtbl.create 64 in
+  (try load path entries with Sys_error _ -> ());
+  { path; entries; mutex = Mutex.create (); hits = Atomic.make 0;
+    lookups = Atomic.make 0 }
+
+let path t = t.path
+let size t = Hashtbl.length t.entries
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  Atomic.incr t.lookups;
+  match with_lock t (fun () -> Hashtbl.find_opt t.entries key) with
+  | Some _ as hit ->
+    Atomic.incr t.hits;
+    hit
+  | None -> None
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let append_line t key schedule cost =
+  try
+    mkdir_p (Filename.dirname t.path);
+    Out_channel.with_open_gen
+      [ Open_append; Open_creat; Open_text ] 0o644 t.path (fun oc ->
+        Printf.fprintf oc "%s\t%.17g\t%s\n" key cost (Schedule.to_string schedule))
+  with Sys_error _ | Unix.Unix_error _ -> ()
+(* persistence is best-effort: an unwritable cache directory must never
+   fail a tuning run *)
+
+let store t key schedule cost =
+  let fresh =
+    with_lock t (fun () ->
+        match Hashtbl.find_opt t.entries key with
+        | Some (old_schedule, old_cost) when old_schedule = schedule && old_cost = cost
+          -> false
+        | _ ->
+          Hashtbl.replace t.entries key (schedule, cost);
+          true)
+  in
+  if fresh then append_line t key schedule cost
+
+let clear t =
+  with_lock t (fun () -> Hashtbl.reset t.entries);
+  if Sys.file_exists t.path then try Sys.remove t.path with Sys_error _ -> ()
+
+type stats = { n_hits : int; n_lookups : int; n_entries : int }
+
+let stats t =
+  { n_hits = Atomic.get t.hits; n_lookups = Atomic.get t.lookups;
+    n_entries = size t }
+
+let ambient_db : t option ref = ref None
+let set_ambient db = ambient_db := db
+let ambient () = !ambient_db

@@ -1,0 +1,44 @@
+(** Persistent key → (schedule, estimated seconds) tuning database.
+
+    Warm runs of `mdhc tune`/`mdhc compare` and `bench/main.exe figure4`
+    skip the schedule search entirely: {!Tuner.tune} consults the database
+    under a key that digests the computation, device, codegen profile and
+    every search-relevant knob (strategy, budget, seed, chains, restricted
+    parallel options), so a hit is exactly the schedule the same search
+    would have re-derived.
+
+    The on-disk format is one [key TAB cost TAB schedule] line per entry
+    (latest line wins), appended on every new result; loading tolerates
+    unreadable files and malformed lines, and persistence is best-effort —
+    an unwritable path never fails tuning. *)
+
+type t
+
+val default_path : unit -> string
+(** [$MDH_TUNING_DB], else [$XDG_CACHE_HOME/mdh/tuning.db], else
+    [$HOME/.cache/mdh/tuning.db]. *)
+
+val open_db : string -> t
+(** Load (or lazily create at first store) the database at the path. *)
+
+val path : t -> string
+val size : t -> int
+
+val find : t -> string -> (Mdh_lowering.Schedule.t * float) option
+val store : t -> string -> Mdh_lowering.Schedule.t -> float -> unit
+(** Record in memory and append to the file (no-op if the key already holds
+    the same entry). *)
+
+val clear : t -> unit
+(** Drop all entries and delete the backing file. *)
+
+type stats = { n_hits : int; n_lookups : int; n_entries : int }
+
+val stats : t -> stats
+
+val set_ambient : t option -> unit
+(** The process-wide default database {!Tuner.tune} consults when not given
+    one explicitly. [None] (the initial state) disables persistent caching,
+    keeping library users and tests side-effect free; the CLIs opt in. *)
+
+val ambient : unit -> t option

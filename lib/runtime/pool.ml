@@ -29,6 +29,9 @@ let worker pool () =
       seen := pool.generation;
       let job = Option.get pool.job in
       Mutex.unlock pool.mutex;
+      (* [run_job] hands workers a wrapper that funnels exceptions into the
+         job's error channel; the catch-all here only protects pool
+         liveness (a dead worker domain would deadlock the barrier) *)
       (try job () with _ -> ());
       Mutex.lock pool.mutex;
       pool.active <- pool.active - 1;
@@ -60,20 +63,34 @@ let run_job t job =
       "Pool: nested parallel submission from inside a running job (would deadlock); \
        run nested work sequentially or use a second pool"
   else begin
+    (* every executing domain (workers and the caller) routes its failure
+       into this channel; the first one wins and is re-raised in the caller
+       once all domains have finished *)
+    let error = Atomic.make None in
+    let wrapped () =
+      try job ()
+      with e -> ignore (Atomic.compare_and_set error None (Some e))
+    in
     Mutex.lock t.mutex;
-    t.job <- Some job;
+    t.job <- Some wrapped;
     t.generation <- t.generation + 1;
     t.active <- Array.length t.domains;
     Condition.broadcast t.job_ready;
     Mutex.unlock t.mutex;
-    job ();
-    Mutex.lock t.mutex;
-    while t.active > 0 do
-      Condition.wait t.job_done t.mutex
-    done;
-    t.job <- None;
-    Mutex.unlock t.mutex;
-    Atomic.set t.in_job false
+    (* even if the caller's share raises (or an async exception lands), the
+       pool must wait for its workers and reset its state — otherwise the
+       stale [job]/[in_job] poison every later submission *)
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.mutex;
+        while t.active > 0 do
+          Condition.wait t.job_done t.mutex
+        done;
+        t.job <- None;
+        Mutex.unlock t.mutex;
+        Atomic.set t.in_job false)
+      wrapped;
+    match Atomic.get error with Some e -> raise e | None -> ()
   end
 
 let parallel_for t ?grain ~lo ~hi body =

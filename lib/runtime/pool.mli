@@ -15,6 +15,15 @@ val create : ?num_domains:int -> unit -> t
 val num_workers : t -> int
 (** Total parallelism including the calling domain (>= 1). *)
 
+val run_job : t -> (unit -> unit) -> unit
+(** Run one job on every domain of the pool at once (the caller included):
+    the building block of the chunked primitives below, exposed for jobs
+    that do their own work distribution (e.g. draining a shared atomic
+    counter). Blocks until every domain has finished. If any domain's run
+    of the job raises, the first exception is re-raised in the caller after
+    the barrier — never swallowed — and the pool remains usable. Nested
+    submission from inside a job raises [Invalid_argument]. *)
+
 val parallel_for : t -> ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
 (** Apply the body to every index in [\[lo, hi)], distributing chunks of
     [grain] (default: range / (8 x workers), at least 1) across the pool.

@@ -1,0 +1,53 @@
+type 'a t = {
+  table : (string, 'a) Hashtbl.t;
+  mutex : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  mutable enabled : bool;
+}
+
+type stats = { n_hits : int; n_misses : int; n_entries : int }
+
+let create ?(enabled = true) () =
+  { table = Hashtbl.create 256; mutex = Mutex.create ();
+    hits = Atomic.make 0; misses = Atomic.make 0; enabled }
+
+let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find_or_add t k compute =
+  if not t.enabled then begin
+    Atomic.incr t.misses;
+    compute ()
+  end
+  else
+    match with_lock t (fun () -> Hashtbl.find_opt t.table k) with
+    | Some v ->
+      Atomic.incr t.hits;
+      v
+    | None ->
+      (* compute outside the lock: concurrent domains may duplicate work on
+         the same key, but they never block each other on a long compute *)
+      Atomic.incr t.misses;
+      let v = compute () in
+      with_lock t (fun () ->
+          if not (Hashtbl.mem t.table k) then Hashtbl.add t.table k v);
+      v
+
+let set_enabled t enabled = t.enabled <- enabled
+let enabled t = t.enabled
+
+let stats t =
+  { n_hits = Atomic.get t.hits; n_misses = Atomic.get t.misses;
+    n_entries = with_lock t (fun () -> Hashtbl.length t.table) }
+
+let reset_stats t =
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0
+
+let clear t =
+  with_lock t (fun () -> Hashtbl.reset t.table);
+  reset_stats t

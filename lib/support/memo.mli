@@ -1,0 +1,37 @@
+(** Thread-safe string-keyed memoization tables with hit/miss accounting.
+
+    The substrate of the tuning engine's cost cache: values are memoized
+    under canonical string keys (use {!key} to digest the key parts), the
+    table is safe to consult from multiple domains, and the counters let
+    benchmarks assert how many real computations a run performed. *)
+
+type 'a t
+
+type stats = { n_hits : int; n_misses : int; n_entries : int }
+
+val create : ?enabled:bool -> unit -> 'a t
+(** A fresh empty table ([enabled] defaults to [true]). *)
+
+val key : string list -> string
+(** Canonical digest of the key components (order-sensitive, collision
+    resistant for our purposes: an MD5 over the NUL-joined parts). *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** Return the cached value for the key, computing and caching it on a
+    miss. The compute function runs outside the table lock, so it may run
+    more than once under concurrent misses of the same key; it must be
+    pure. When the table is disabled, every call computes (and counts as a
+    miss). *)
+
+val set_enabled : 'a t -> bool -> unit
+(** Toggle caching; existing entries are kept but not consulted while
+    disabled. *)
+
+val enabled : 'a t -> bool
+
+val stats : 'a t -> stats
+(** [n_misses] counts real computations, [n_hits] avoided ones. *)
+
+val reset_stats : 'a t -> unit
+val clear : 'a t -> unit
+(** Drop all entries and reset the counters. *)

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 verification entry point: build, run the full test suite, and
+# guard the repository hygiene invariants.
+#
+#   ./scripts/check.sh
+#
+# Fails if:
+#   - the build or any test fails,
+#   - build artifacts under _build/ (or *.install files) are ever tracked
+#     by git again (they were purged in the tuning-engine PR and are
+#     covered by .gitignore).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tracked_artifacts=$(git ls-files -- '_build' '*.install' || true)
+if [ -n "$tracked_artifacts" ]; then
+    echo "error: build artifacts are tracked by git:" >&2
+    echo "$tracked_artifacts" | head -10 >&2
+    echo "(run: git rm -r --cached _build '*.install')" >&2
+    exit 1
+fi
+
+dune build
+dune runtest
+
+echo "check.sh: OK"

@@ -139,6 +139,75 @@ let test_tune_respects_parallel_options () =
     check (Alcotest.list Alcotest.int) "restricted" []
       t.Tuner.schedule.Schedule.parallel_dims
 
+let test_random_search_mostly_illegal_space () =
+  (* only x = 3 admits a y, so ~2/3 of samples dead-end: the draw loop must
+     stop at the 10x-budget attempt cap instead of spinning *)
+  let sp =
+    Space.make
+      [ Param.independent "x" [ 1; 2; 3 ];
+        Param.dependent "y" (fun config ->
+            if Param.value config "x" = 3 then [ 0 ] else []) ]
+  in
+  let budget = 30 in
+  match Search.random_search sp ~seed:5 ~budget ~cost:(fun _ -> Some 1.0) with
+  | None -> Alcotest.fail "legal configurations exist"
+  | Some r ->
+    check Alcotest.bool "within budget" true (r.Search.evaluations <= budget);
+    check Alcotest.bool "found some" true (r.Search.evaluations > 0);
+    check Alcotest.int "x pinned" 3 (Param.value r.Search.best "x")
+
+let test_random_search_all_dead_ends () =
+  let sp =
+    Space.make
+      [ Param.independent "x" [ 1 ]; Param.dependent "y" (fun _ -> []) ]
+  in
+  check Alcotest.bool "terminates with none" true
+    (Search.random_search sp ~seed:1 ~budget:20 ~cost:(fun _ -> Some 1.0) = None)
+
+let test_annealing_all_neighbours_illegal () =
+  (* once the chain finds the single legal configuration, every neighbour
+     is rejected by the cost model: the walk must still consume its budget
+     and terminate, reporting the legal point *)
+  let sp = dependent_space () in
+  let legal = [ ("x", 2); ("y", 1) ] in
+  let cost config = if config = legal then Some 1.0 else None in
+  match Search.simulated_annealing sp ~seed:2 ~budget:40 ~cost with
+  | None -> Alcotest.fail "the legal configuration is reachable"
+  | Some r ->
+    check Alcotest.bool "best is the only legal point" true (r.Search.best = legal);
+    check Alcotest.bool "budget consumed, then stopped" true (r.Search.evaluations >= 40)
+
+let test_evaluate_batch_order_and_parity () =
+  Mdh_runtime.Pool.with_pool ~num_domains:3 (fun pool ->
+      let configs =
+        Array.init 100 (fun i -> [ ("x", (i mod 3) + 1); ("y", 1) ])
+      in
+      let cost config =
+        let x = Param.value config "x" in
+        if x = 2 then None else Some (float_of_int x)
+      in
+      let seq = Search.evaluate_batch ~cost configs in
+      let par = Search.evaluate_batch ~pool ~cost configs in
+      check Alcotest.bool "parallel = sequential, in order" true (seq = par))
+
+let test_portfolio_matches_sequential_and_sums_evals () =
+  let seeds = [ 17; 18; 19; 20 ] in
+  let run pool =
+    Search.simulated_annealing_portfolio ?pool (dependent_space ()) ~seeds
+      ~budget:25 ~cost:bowl
+  in
+  let seq = run None in
+  Mdh_runtime.Pool.with_pool ~num_domains:3 (fun pool ->
+      let par = run (Some pool) in
+      match (seq, par) with
+      | Some a, Some b ->
+        check Alcotest.bool "same best" true (a.Search.best = b.Search.best);
+        check (Alcotest.float 1e-12) "same cost" a.Search.best_cost b.Search.best_cost;
+        check Alcotest.int "evals summed over chains" a.Search.evaluations
+          b.Search.evaluations;
+        check Alcotest.bool "all chains counted" true (a.Search.evaluations >= 25 * 4)
+      | _ -> Alcotest.fail "portfolio found no result")
+
 let test_tune_deterministic () =
   let md = W.to_md_hom Mdh_workloads.Linalg.matvec [ ("I", 4096); ("K", 4096) ] in
   let run () =
@@ -148,6 +217,113 @@ let test_tune_deterministic () =
   in
   let a = run () and b = run () in
   check Alcotest.bool "same schedule" true (a.Tuner.schedule = b.Tuner.schedule)
+
+let test_tune_parallel_matches_sequential_all_workloads () =
+  (* the acceptance contract: for every catalogue workload, the parallel
+     tuner (pool + multi-chain portfolio) picks the bit-identical schedule
+     the sequential tuner picks for the same seed and chain count *)
+  Mdh_runtime.Pool.with_pool ~num_domains:3 (fun pool ->
+      List.iter
+        (fun (w : W.t) ->
+          let md = W.to_md_hom w w.W.test_params in
+          let tune pool =
+            match
+              Tuner.tune ~budget:120 ~seed:5 ~chains:3 ?pool md cpu
+                Cost.tuned_codegen
+            with
+            | Ok t -> t
+            | Error e -> Alcotest.failf "%s: %s" w.W.wl_name e
+          in
+          let seq = tune None and par = tune (Some pool) in
+          check Alcotest.bool (w.W.wl_name ^ ": same schedule") true
+            (seq.Tuner.schedule = par.Tuner.schedule);
+          check (Alcotest.float 1e-12) (w.W.wl_name ^ ": same cost")
+            seq.Tuner.estimated_s par.Tuner.estimated_s;
+          check Alcotest.int (w.W.wl_name ^ ": same evaluations")
+            seq.Tuner.search.Search.evaluations par.Tuner.search.Search.evaluations)
+        Mdh_workloads.Catalog.all)
+
+let with_temp_db f =
+  let path = Filename.temp_file "mdh-tuning" ".db" in
+  Sys.remove path;
+  let db = Tuning_db.open_db path in
+  Fun.protect ~finally:(fun () -> Tuning_db.clear db) (fun () -> f db)
+
+let test_tuning_db_roundtrip () =
+  with_temp_db (fun db ->
+      let md = W.to_md_hom Mdh_workloads.Linalg.matvec [ ("I", 2048); ("K", 2048) ] in
+      let tune db = Tuner.tune ~budget:60 ~seed:3 ~db md cpu Cost.tuned_codegen in
+      let cold =
+        match tune db with Ok t -> t | Error e -> Alcotest.fail e
+      in
+      check Alcotest.bool "cold run searches" false cold.Tuner.from_db;
+      check Alcotest.bool "cold run evaluates" true
+        (cold.Tuner.search.Search.evaluations > 0);
+      let warm =
+        match tune db with Ok t -> t | Error e -> Alcotest.fail e
+      in
+      check Alcotest.bool "warm run recalls" true warm.Tuner.from_db;
+      check Alcotest.int "warm run: zero search evaluations" 0
+        warm.Tuner.search.Search.evaluations;
+      check Alcotest.bool "same schedule" true
+        (cold.Tuner.schedule = warm.Tuner.schedule);
+      check (Alcotest.float 1e-12) "same cost" cold.Tuner.estimated_s
+        warm.Tuner.estimated_s;
+      (* persistence: a fresh handle on the same file still recalls *)
+      let reloaded =
+        match tune (Tuning_db.open_db (Tuning_db.path db)) with
+        | Ok t -> t
+        | Error e -> Alcotest.fail e
+      in
+      check Alcotest.bool "recalled across reload" true reloaded.Tuner.from_db;
+      check Alcotest.bool "reloaded schedule identical" true
+        (cold.Tuner.schedule = reloaded.Tuner.schedule))
+
+let test_tuning_db_key_distinguishes_searches () =
+  with_temp_db (fun db ->
+      let md = W.to_md_hom Mdh_workloads.Linalg.matvec [ ("I", 1024); ("K", 1024) ] in
+      (match Tuner.tune ~budget:50 ~seed:3 ~db md cpu Cost.tuned_codegen with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      (* a different seed/budget/device must not hit the stored entry *)
+      List.iter
+        (fun t ->
+          check Alcotest.bool "distinct key misses" false
+            (match t with Ok t -> t.Tuner.from_db | Error _ -> false))
+        [ Tuner.tune ~budget:50 ~seed:4 ~db md cpu Cost.tuned_codegen;
+          Tuner.tune ~budget:51 ~seed:3 ~db md cpu Cost.tuned_codegen;
+          Tuner.tune ~budget:50 ~seed:3 ~db md Device.a100_like Cost.tuned_codegen ])
+
+let test_tuning_db_tolerates_garbage () =
+  let path = Filename.temp_file "mdh-tuning" ".db" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "not a db line\nkey\tnot-a-float\ttiles=1\n");
+  let db = Tuning_db.open_db path in
+  Fun.protect ~finally:(fun () -> Tuning_db.clear db) (fun () ->
+      check Alcotest.int "garbage ignored" 0 (Tuning_db.size db);
+      let md = W.to_md_hom Mdh_workloads.Linalg.dot [ ("K", 65536) ] in
+      match Tuner.tune ~budget:40 ~db md cpu Cost.tuned_codegen with
+      | Ok t -> check Alcotest.bool "still tunes" false t.Tuner.from_db
+      | Error e -> Alcotest.fail e)
+
+let test_cost_cache_absorbs_repeat_tuning () =
+  let md = W.to_md_hom Mdh_workloads.Linalg.matmul [ ("I", 512); ("J", 512); ("K", 512) ] in
+  let tune () =
+    match Tuner.tune ~budget:80 ~seed:11 md cpu Cost.tuned_codegen with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  Cost_cache.reset_stats ();
+  let a = tune () in
+  let cold = Cost_cache.stats () in
+  check Alcotest.bool "cold run computes" true (cold.Mdh_support.Memo.n_misses > 0);
+  let b = tune () in
+  let warm = Cost_cache.stats () in
+  check Alcotest.bool "repeat run is all hits" true
+    (warm.Mdh_support.Memo.n_misses = cold.Mdh_support.Memo.n_misses);
+  check Alcotest.bool "hits grew" true
+    (warm.Mdh_support.Memo.n_hits > cold.Mdh_support.Memo.n_hits);
+  check Alcotest.bool "cached runs agree" true (a.Tuner.schedule = b.Tuner.schedule)
 
 let suite =
   let tc = Alcotest.test_case in
@@ -164,7 +340,23 @@ let suite =
       tc "search deterministic" `Quick test_search_deterministic;
       tc "search skips illegal" `Quick test_search_skips_illegal;
       tc "all illegal yields none" `Quick test_all_illegal_yields_none;
+      tc "random search survives mostly-illegal space" `Quick
+        test_random_search_mostly_illegal_space;
+      tc "random search all dead ends" `Quick test_random_search_all_dead_ends;
+      tc "annealing terminates with illegal neighbours" `Quick
+        test_annealing_all_neighbours_illegal;
+      tc "evaluate_batch parallel parity" `Quick test_evaluate_batch_order_and_parity;
+      tc "annealing portfolio parallel parity" `Quick
+        test_portfolio_matches_sequential_and_sums_evals;
       tc "tune improves on default" `Quick test_tune_improves_on_default;
       tc "tune parallelises dot reduction" `Quick test_tune_parallelises_reduction_for_dot;
       tc "tune respects parallel options" `Quick test_tune_respects_parallel_options;
-      tc "tune deterministic" `Quick test_tune_deterministic ] )
+      tc "tune deterministic" `Quick test_tune_deterministic;
+      tc "parallel tuner = sequential tuner (all workloads)" `Quick
+        test_tune_parallel_matches_sequential_all_workloads;
+      tc "tuning db roundtrip" `Quick test_tuning_db_roundtrip;
+      tc "tuning db key distinguishes searches" `Quick
+        test_tuning_db_key_distinguishes_searches;
+      tc "tuning db tolerates garbage" `Quick test_tuning_db_tolerates_garbage;
+      tc "cost cache absorbs repeat tuning" `Quick
+        test_cost_cache_absorbs_repeat_tuning ] )

@@ -100,6 +100,57 @@ let test_nested_submission_rejected () =
       Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ -> ignore (Atomic.fetch_and_add acc 1));
       check Alcotest.int "usable after" 100 (Atomic.get acc))
 
+let test_raising_job_leaves_pool_usable () =
+  (* regression: a raising job body used to leave [in_job] set and the job
+     installed, poisoning every later submission *)
+  with_pool (fun pool ->
+      for round = 1 to 3 do
+        check Alcotest.bool (Printf.sprintf "raises %d" round) true
+          (try
+             Pool.run_job pool (fun () -> failwith "boom");
+             false
+           with Failure m -> m = "boom");
+        (* the pool accepts and completes new work after the failure *)
+        let acc = Atomic.make 0 in
+        Pool.parallel_for pool ~lo:0 ~hi:500 (fun _ -> ignore (Atomic.fetch_and_add acc 1));
+        check Alcotest.int (Printf.sprintf "usable %d" round) 500 (Atomic.get acc)
+      done)
+
+let test_worker_exception_propagates () =
+  (* regression: exceptions on worker domains were silently swallowed; only
+     the caller's own share of a job could fail it. The job below raises on
+     every domain except the caller's, so the re-raised failure can only
+     have come from a worker. *)
+  with_pool (fun pool ->
+      let caller = Domain.self () in
+      check Alcotest.bool "worker failure re-raised" true
+        (try
+           Pool.run_job pool (fun () ->
+               if Domain.self () <> caller then failwith "worker-boom"
+               else Unix.sleepf 0.02);
+           false
+         with Failure m -> m = "worker-boom");
+      let acc = Atomic.make 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ -> ignore (Atomic.fetch_and_add acc 1));
+      check Alcotest.int "usable after worker failure" 100 (Atomic.get acc))
+
+let test_worker_thunk_exception_propagates () =
+  (* run_in_parallel with a thunk that only fails when a worker (not the
+     caller) executes it: the caller stalls on its first chunk so the
+     workers drain the rest, and the failure must still surface *)
+  with_pool (fun pool ->
+      let caller = Domain.self () in
+      let thunks =
+        Array.init 64 (fun _ () ->
+            if Domain.self () <> caller then failwith "thunk-boom"
+            else Unix.sleepf 0.005)
+      in
+      check Alcotest.bool "raises" true
+        (try
+           ignore (Pool.run_in_parallel pool thunks);
+           false
+         with Failure m -> m = "thunk-boom"))
+
 let test_zero_domain_pool_works () =
   Pool.with_pool ~num_domains:0 (fun pool ->
       check Alcotest.int "workers" 1 (Pool.num_workers pool);
@@ -212,6 +263,9 @@ let suite =
       tc "run_in_parallel order" `Quick test_run_in_parallel_order;
       tc "pool reusable" `Quick test_pool_reusable;
       tc "nested submission rejected" `Quick test_nested_submission_rejected;
+      tc "raising job leaves pool usable" `Quick test_raising_job_leaves_pool_usable;
+      tc "worker exception propagates" `Quick test_worker_exception_propagates;
+      tc "worker thunk exception propagates" `Quick test_worker_thunk_exception_propagates;
       tc "zero-domain pool" `Quick test_zero_domain_pool_works;
       tc "kernel dot" `Quick test_kernels_dot;
       tc "kernel matvec" `Quick test_kernels_matvec;

@@ -170,6 +170,49 @@ let prop_ceil_div =
       let q = Mdh_support.Util.ceil_div a b in
       (q * b >= a) && ((q - 1) * b < a || q = 0))
 
+(* --- memo --- *)
+
+let test_memo_caches () =
+  let memo = Memo.create () in
+  let computed = ref 0 in
+  let get () = Memo.find_or_add memo "k" (fun () -> incr computed; 42) in
+  check Alcotest.int "first" 42 (get ());
+  check Alcotest.int "second" 42 (get ());
+  check Alcotest.int "computed once" 1 !computed;
+  let stats = Memo.stats memo in
+  check Alcotest.int "hits" 1 stats.Memo.n_hits;
+  check Alcotest.int "misses" 1 stats.Memo.n_misses;
+  check Alcotest.int "entries" 1 stats.Memo.n_entries
+
+let test_memo_disabled () =
+  let memo = Memo.create ~enabled:false () in
+  let computed = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Memo.find_or_add memo "k" (fun () -> incr computed; 0))
+  done;
+  check Alcotest.int "always computes" 3 !computed;
+  check Alcotest.int "all misses" 3 (Memo.stats memo).Memo.n_misses;
+  (* re-enabling starts caching *)
+  Memo.set_enabled memo true;
+  ignore (Memo.find_or_add memo "k" (fun () -> incr computed; 0));
+  ignore (Memo.find_or_add memo "k" (fun () -> incr computed; 0));
+  check Alcotest.int "cached once enabled" 4 !computed
+
+let test_memo_clear () =
+  let memo = Memo.create () in
+  ignore (Memo.find_or_add memo "k" (fun () -> 1));
+  Memo.clear memo;
+  let stats = Memo.stats memo in
+  check Alcotest.int "no entries" 0 stats.Memo.n_entries;
+  check Alcotest.int "no misses" 0 stats.Memo.n_misses
+
+let test_memo_key () =
+  check Alcotest.string "deterministic" (Memo.key [ "a"; "b" ]) (Memo.key [ "a"; "b" ]);
+  check Alcotest.bool "order sensitive" true (Memo.key [ "a"; "b" ] <> Memo.key [ "b"; "a" ]);
+  (* the separator must prevent concatenation collisions *)
+  check Alcotest.bool "no concat collision" true
+    (Memo.key [ "ab"; "c" ] <> Memo.key [ "a"; "bc" ])
+
 let suite =
   let tc = Alcotest.test_case in
   ( "support",
@@ -200,5 +243,9 @@ let suite =
       tc "util string_of_dims" `Quick test_string_of_dims;
       tc "table render" `Quick test_table_render;
       tc "table arity" `Quick test_table_arity;
+      tc "memo caches" `Quick test_memo_caches;
+      tc "memo disabled" `Quick test_memo_disabled;
+      tc "memo clear" `Quick test_memo_clear;
+      tc "memo key" `Quick test_memo_key;
       QCheck_alcotest.to_alcotest prop_divisors_divide;
       QCheck_alcotest.to_alcotest prop_ceil_div ] )
