@@ -21,10 +21,14 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--no-cache] [--tuning-db PATH]\n\
+    "usage: main.exe [--no-cache] [--tuning-db PATH] [--metrics] [--trace FILE]\n\
     \                [figure3|figure4 [gpu|cpu]|failure-matrix|prl-study|\n\
     \                 ablation-openacc-tiling|ablation-tiling|\n\
-    \                 ablation-reduction-parallel|ablation-tuning-budget|micro]";
+    \                 ablation-reduction-parallel|ablation-tuning-budget|micro]\n\
+    \n\
+    \  --metrics     print the observability summary (pool utilization, per-\n\
+    \                workload cache hit/miss) and write BENCH_obs.json\n\
+    \  --trace FILE  write Chrome trace_event JSON of the run (Perfetto)";
   exit 2
 
 let everything () =
@@ -38,15 +42,26 @@ let everything () =
   Calibrate.run ();
   Micro.run ()
 
-(* strip the cache flags (position-independent) before command dispatch *)
-let rec extract_cache_flags ~no_cache ~db_path = function
-  | [] -> (no_cache, db_path, [])
-  | "--no-cache" :: rest -> extract_cache_flags ~no_cache:true ~db_path rest
-  | "--tuning-db" :: path :: rest -> extract_cache_flags ~no_cache ~db_path:(Some path) rest
+type flags = {
+  no_cache : bool;
+  db_path : string option;
+  metrics : bool;
+  trace : string option;
+}
+
+(* strip the option flags (position-independent) before command dispatch *)
+let rec extract_flags acc = function
+  | [] -> (acc, [])
+  | "--no-cache" :: rest -> extract_flags { acc with no_cache = true } rest
+  | "--tuning-db" :: path :: rest ->
+    extract_flags { acc with db_path = Some path } rest
   | "--tuning-db" :: [] -> usage ()
+  | "--metrics" :: rest -> extract_flags { acc with metrics = true } rest
+  | "--trace" :: path :: rest -> extract_flags { acc with trace = Some path } rest
+  | "--trace" :: [] -> usage ()
   | arg :: rest ->
-    let no_cache, db_path, args = extract_cache_flags ~no_cache ~db_path rest in
-    (no_cache, db_path, arg :: args)
+    let acc, args = extract_flags acc rest in
+    (acc, arg :: args)
 
 let setup_cache ~no_cache ~db_path =
   if no_cache then Mdh_atf.Cost_cache.set_enabled false
@@ -62,7 +77,7 @@ let print_tuning_stats elapsed =
   let cost = Mdh_atf.Cost_cache.stats () in
   Printf.printf
     "[tuning] cost-model evaluations: %d (in-memory cache hits: %d) in %.2fs\n"
-    cost.Mdh_support.Memo.n_misses cost.Mdh_support.Memo.n_hits elapsed;
+    cost.Mdh_atf.Cost_cache.n_misses cost.Mdh_atf.Cost_cache.n_hits elapsed;
   match Mdh_atf.Tuning_db.ambient () with
   | None -> ()
   | Some db ->
@@ -71,14 +86,87 @@ let print_tuning_stats elapsed =
       (Mdh_atf.Tuning_db.path db) stats.Mdh_atf.Tuning_db.n_hits
       stats.Mdh_atf.Tuning_db.n_lookups stats.Mdh_atf.Tuning_db.n_entries
 
-let () =
-  let no_cache, db_path, args =
-    extract_cache_flags ~no_cache:false ~db_path:None (List.tl (Array.to_list Sys.argv))
+let print_workload_obs () =
+  match Mdh_reports.Report.workload_obs () with
+  | [] -> ()
+  | rows ->
+    print_endline "[obs] cost cache per workload (hits/misses):";
+    List.iter
+      (fun (name, hits, misses, elapsed) ->
+        Printf.printf "[obs]   %-16s %6d / %-6d  %.3fs\n" name hits misses elapsed)
+      rows
+
+let print_pool_obs () =
+  let gauge name = Mdh_obs.Metrics.(gauge_value (gauge name)) in
+  let workers = int_of_float (gauge "runtime.pool.workers") in
+  if workers > 0 then begin
+    let jobs = Mdh_obs.Metrics.(value (counter "runtime.pool.jobs")) in
+    let capacity = gauge "runtime.pool.capacity_s" in
+    if capacity > 0.0 then
+      Printf.printf
+        "[obs] pool: %d workers, %d jobs, %.2fs busy of %.2fs worker capacity \
+         (utilization %.0f%%)\n"
+        workers jobs (gauge "runtime.pool.busy_s") capacity
+        (100.0 *. gauge "runtime.pool.utilization")
+    else
+      (* single-core host: the pool spawned no extra domains, so parallel
+         loops ran inline in the caller and there is no capacity to meter *)
+      Printf.printf "[obs] pool: caller only (no extra domains on this host), %d jobs\n"
+        jobs
+  end
+
+(* machine-readable observability record, one per bench invocation, so
+   later PRs have a perf trajectory to diff against *)
+let write_bench_obs ~command ~elapsed path =
+  let module J = Mdh_obs.Json in
+  let workloads =
+    J.arr
+      (List.map
+         (fun (name, hits, misses, elapsed) ->
+           J.obj
+             [ ("name", J.quote name);
+               ("cost_cache_hits", string_of_int hits);
+               ("cost_cache_misses", string_of_int misses);
+               ("elapsed_s", J.number elapsed) ])
+         (Mdh_reports.Report.workload_obs ()))
   in
-  setup_cache ~no_cache ~db_path;
+  let json =
+    J.obj
+      [ ("schema", J.quote "mdh-bench-obs/1");
+        ("command", J.quote command);
+        ("elapsed_s", J.number elapsed);
+        ("metrics", Mdh_obs.Metrics.to_json ());
+        ("workloads", workloads) ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc json;
+      output_char oc '\n');
+  Printf.printf "[obs] wrote %s\n" path
+
+let () =
+  let flags, args =
+    extract_flags
+      { no_cache = false; db_path = None; metrics = false; trace = None }
+      (List.tl (Array.to_list Sys.argv))
+  in
+  setup_cache ~no_cache:flags.no_cache ~db_path:flags.db_path;
+  if flags.trace <> None then Mdh_obs.Trace.set_enabled true;
+  let command = match args with [] -> "everything" | args -> String.concat " " args in
   let run body =
     let (), elapsed = Mdh_support.Util.time_it body in
-    print_tuning_stats elapsed
+    print_tuning_stats elapsed;
+    if flags.metrics then begin
+      print_pool_obs ();
+      print_workload_obs ();
+      let summary = Mdh_obs.Metrics.summary () in
+      if summary <> "" then print_string summary;
+      write_bench_obs ~command ~elapsed "BENCH_obs.json"
+    end;
+    match flags.trace with
+    | None -> ()
+    | Some path ->
+      Out_channel.with_open_text path Mdh_obs.Trace.write_chrome;
+      Printf.printf "[obs] trace written to %s\n" path
   in
   match args with
   | [] -> run everything

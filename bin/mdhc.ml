@@ -11,7 +11,8 @@
      mdhc tune matmul --no-cache        (ignore + don't write the tuning db)
      mdhc tune matmul --tuning-db /tmp/t.db
      mdhc compare ccsd(t) --device gpu
-     mdhc run prl --parallel *)
+     mdhc run prl --parallel
+     mdhc tune matmul --trace /tmp/t.json --metrics   (observability) *)
 
 open Cmdliner
 module W = Mdh_workloads.Workload
@@ -90,6 +91,45 @@ let tuning_db_arg =
   in
   Arg.(value & opt (some string) None & info [ "tuning-db" ] ~doc ~docv:"PATH")
 
+let trace_arg =
+  let doc =
+    "Record hierarchical spans of the tune/search/execute pipeline and \
+     write them to $(docv) as Chrome trace_event JSON (open in \
+     chrome://tracing or https://ui.perfetto.dev). Tracing never changes \
+     results: schedules and outputs are bit-identical with it on or off."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+
+let metrics_arg =
+  let doc =
+    "After the command, print the observability metrics summary (cost-model \
+     cache hits/misses, search evaluations, tuning-db traffic, pool worker \
+     utilization) and, when tracing, a per-span timing table."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* enable span collection before the command body runs; per-run counters
+   (cost cache hit/miss) restart from zero so the report covers exactly
+   this invocation's workload *)
+let setup_obs ~trace =
+  if trace <> None then Mdh_obs.Trace.set_enabled true;
+  Mdh_atf.Cost_cache.reset_stats ()
+
+(* the summary goes to stdout after the normal output; the trace-file
+   notice goes to stderr so stdout stays bit-identical with --trace off *)
+let finish_obs ~trace ~metrics =
+  if metrics then begin
+    let summary = Mdh_obs.Metrics.summary () in
+    if summary <> "" then print_string summary;
+    let spans = Mdh_obs.Trace.summary () in
+    if spans <> "" then print_string spans
+  end;
+  match trace with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path Mdh_obs.Trace.write_chrome;
+    Printf.eprintf "trace written to %s\n%!" path
+
 (* the tuner consults the ambient database (and the cost cache) from every
    internal call site — baselines included — so the flags configure both
    process-wide before the command body runs *)
@@ -165,8 +205,10 @@ let show_cmd =
 
 let tune_cmd =
   let doc = "Auto-tune a workload's schedule with ATF and report the result." in
-  let run name device input budget seed chains parallel no_cache tuning_db =
+  let run name device input budget seed chains parallel no_cache tuning_db trace
+      metrics =
     setup_cache ~no_cache ~tuning_db;
+    setup_obs ~trace;
     let w = or_die (find_workload name) in
     let dev = or_die (device_of_string device) in
     let params = or_die (params_of w input) in
@@ -197,18 +239,21 @@ let tune_cmd =
           t.Mdh_atf.Tuner.search.Mdh_atf.Search.trace;
         let stats = Mdh_atf.Cost_cache.stats () in
         Printf.printf "cost model: %d evaluations, %d cache hits\n"
-          stats.Mdh_support.Memo.n_misses stats.Mdh_support.Memo.n_hits
-      end
+          stats.Mdh_atf.Cost_cache.n_misses stats.Mdh_atf.Cost_cache.n_hits
+      end;
+      finish_obs ~trace ~metrics
   in
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ workload_arg $ device_arg $ input_arg $ budget_arg $ seed_arg
-      $ chains_arg $ parallel_arg $ no_cache_arg $ tuning_db_arg)
+      $ chains_arg $ parallel_arg $ no_cache_arg $ tuning_db_arg $ trace_arg
+      $ metrics_arg)
 
 let compare_cmd =
   let doc = "Compare every system of the Figure 4 line-up on one workload." in
-  let run name device input no_cache tuning_db =
+  let run name device input no_cache tuning_db trace metrics =
     setup_cache ~no_cache ~tuning_db;
+    setup_obs ~trace;
     let w = or_die (find_workload name) in
     let dev = or_die (device_of_string device) in
     let params = or_die (params_of w input) in
@@ -220,19 +265,27 @@ let compare_cmd =
              (sys.Common.sys_name, fun () -> sys.Common.compile ~tuned:true md dev))
            (Mdh_baselines.Registry.baselines_for dev)
     in
+    (* baseline failures are expected paper results, but the MDH system
+       itself failing to compile means the comparison is meaningless:
+       report it through the exit code *)
+    let mdh_failed = ref false in
     List.iter
       (fun (name, compile) ->
         match compile () with
         | Ok o ->
           Format.printf "%-10s %-14s %.6gs  (%a)@." name o.Common.system
             (Common.seconds o) Schedule.pp o.Common.schedule
-        | Error f -> Format.printf "%-10s %a@." name Common.pp_failure f)
-      systems
+        | Error f ->
+          if name = "MDH" then mdh_failed := true;
+          Format.printf "%-10s %a@." name Common.pp_failure f)
+      systems;
+    finish_obs ~trace ~metrics;
+    if !mdh_failed then or_die (Error "the MDH system failed on this workload")
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ workload_arg $ device_arg $ input_arg $ no_cache_arg
-      $ tuning_db_arg)
+      $ tuning_db_arg $ trace_arg $ metrics_arg)
 
 let codegen_cmd =
   let doc = "Generate kernel source (CUDA for the GPU device, OpenCL for the \
@@ -304,7 +357,8 @@ let compile_cmd =
 let run_cmd =
   let doc = "Execute a workload (test sizes by default) on the host and check \
              the result against the reference semantics." in
-  let run name input seed parallel =
+  let run name input seed parallel trace metrics =
+    setup_obs ~trace;
     let w = or_die (find_workload name) in
     let params = or_die (params_of w input) in
     let md = W.to_md_hom w params in
@@ -337,14 +391,21 @@ let run_cmd =
           md.Mdh_core.Md_hom.outputs
       in
       print_endline (if ok then "result check: OK" else "result check: MISMATCH");
-      if not ok then exit 1)
+      if not ok then begin
+        finish_obs ~trace ~metrics;
+        exit 1
+      end);
+    finish_obs ~trace ~metrics
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ workload_arg $ Arg.(value & opt string "test" & info [ "input"; "i" ]) $ seed_arg $ parallel_arg)
+    Term.(
+      const run $ workload_arg
+      $ Arg.(value & opt string "test" & info [ "input"; "i" ])
+      $ seed_arg $ parallel_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "MDH directive compiler driver (paper reproduction)" in
-  let info = Cmd.info "mdhc" ~version:"1.0" ~doc in
+  let info = Cmd.info "mdhc" ~version:"1.1.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info

@@ -37,8 +37,17 @@ val set_enabled : bool -> unit
 
 val enabled : unit -> bool
 
-val stats : unit -> Mdh_support.Memo.stats
-(** [n_misses] = real cost-model evaluations since the last reset. *)
+type stats = { n_hits : int; n_misses : int; n_entries : int }
+
+val stats : unit -> stats
+(** [n_misses] = real cost-model evaluations since the last reset. The
+    counts live on the [Mdh_obs.Metrics] registry ([atf.cost_cache.hits] /
+    [atf.cost_cache.misses]), so they appear in metrics reports and are
+    resettable per tuning run — front ends reset them so successive
+    workloads don't report each other's accumulated counts. *)
 
 val reset_stats : unit -> unit
+(** Zero the hit/miss counters (registry and in-table); cached entries
+    are kept. *)
+
 val clear : unit -> unit

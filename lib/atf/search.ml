@@ -1,5 +1,14 @@
 module Rng = Mdh_support.Rng
 module Pool = Mdh_runtime.Pool
+module Trace = Mdh_obs.Trace
+module Metrics = Mdh_obs.Metrics
+
+(* evaluation accounting lives on the registry (cheap atomic increments,
+   always on); the best-so-far trajectory is a trace counter track,
+   emitted only while tracing — neither influences the search itself, so
+   results are bit-identical with observability on or off *)
+let m_evals = Metrics.counter "atf.search.evaluations"
+let m_improvements = Metrics.counter "atf.search.improvements"
 
 type result = {
   best : Param.config;
@@ -19,13 +28,16 @@ let fresh () = { s_best = None; s_best_cost = infinity; s_evals = 0; s_trace = [
 
 let record st config cost =
   st.s_evals <- st.s_evals + 1;
+  Metrics.incr m_evals;
   match cost with
   | None -> None
   | Some c ->
     if c < st.s_best_cost then begin
       st.s_best <- Some config;
       st.s_best_cost <- c;
-      st.s_trace <- (st.s_evals, c) :: st.s_trace
+      st.s_trace <- (st.s_evals, c) :: st.s_trace;
+      Metrics.incr m_improvements;
+      Trace.counter_event ~cat:"atf" "search.best_cost_s" c
     end;
     Some c
 
@@ -56,11 +68,15 @@ let absorb_batch ?pool st ~cost configs =
   Array.iteri (fun i config -> ignore (record st config costs.(i))) configs
 
 let exhaustive ?pool space ~cost =
+  Trace.with_span ~cat:"atf" "search.exhaustive" @@ fun () ->
   let st = fresh () in
   absorb_batch ?pool st ~cost (Array.of_list (Space.enumerate space));
   finish st
 
 let random_search ?pool space ~seed ~budget ~cost =
+  Trace.with_span ~cat:"atf" "search.random"
+    ~args:[ ("seed", string_of_int seed) ]
+  @@ fun () ->
   let st = fresh () in
   let rng = Rng.create seed in
   (* sampling never depends on the costs, so draw the full candidate list
@@ -80,6 +96,11 @@ let random_search ?pool space ~seed ~budget ~cost =
   finish st
 
 let simulated_annealing space ~seed ~budget ~cost =
+  (* one span per chain: under a portfolio these run on pool worker
+     domains, exercising the per-domain trace buffers *)
+  Trace.with_span ~cat:"atf" "search.anneal"
+    ~args:[ ("seed", string_of_int seed) ]
+  @@ fun () ->
   let st = fresh () in
   let rng = Rng.create seed in
   let rec initial tries =

@@ -4,6 +4,14 @@ module Schedule = Mdh_lowering.Schedule
 module Lower = Mdh_lowering.Lower
 module Cost = Mdh_lowering.Cost
 
+module Trace = Mdh_obs.Trace
+module Metrics = Mdh_obs.Metrics
+module Clock = Mdh_obs.Clock
+
+let m_runs = Metrics.counter "atf.tuner.runs"
+let m_db_recalls = Metrics.counter "atf.tuner.db_recalls"
+let m_tune_s = Metrics.histogram "atf.tuner.tune_s"
+
 type strategy = Exhaustive | Random | Anneal | Auto
 
 type tuning = {
@@ -83,54 +91,77 @@ let db_hit_result estimated_s =
 let tune ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1) ?pool
     ?include_transfers ?parallel_options ?db md dev cg =
   let chains = max 1 chains in
-  let ctx = Cost_cache.context ?include_transfers md dev cg in
-  let db = match db with Some _ as d -> d | None -> Tuning_db.ambient () in
-  let key = db_key ~ctx ~strategy ~budget ~seed ~chains ~parallel_options in
-  match Option.bind db (fun d -> Tuning_db.find d key) with
-  | Some (schedule, estimated_s) ->
-    Ok { schedule; estimated_s; search = db_hit_result estimated_s; from_db = true }
-  | None -> (
-    let sp, decode = space ?parallel_options md dev in
-    let cost config =
-      match Cost_cache.seconds ctx (decode config) with
-      | Ok s -> Some s
-      | Error _ -> None
+  Metrics.incr m_runs;
+  let t_start = Clock.now_ns () in
+  let result =
+    Trace.with_span ~cat:"atf" "tuner.tune"
+      ~args:
+        [ ("workload", md.Md_hom.hom_name);
+          ("device", dev.Device.device_name);
+          ("strategy", strategy_name strategy);
+          ("budget", string_of_int budget) ]
+    @@ fun () ->
+    let ctx = Cost_cache.context ?include_transfers md dev cg in
+    let db = match db with Some _ as d -> d | None -> Tuning_db.ambient () in
+    let key = db_key ~ctx ~strategy ~budget ~seed ~chains ~parallel_options in
+    let recalled =
+      Trace.with_span ~cat:"atf" "tuner.db_lookup" (fun () ->
+          Option.bind db (fun d -> Tuning_db.find d key))
     in
-    let anneal () =
-      (* K independent chains splitting the budget; the seed list depends
-         only on (seed, chains), so the outcome is identical with or
-         without a pool *)
-      Search.simulated_annealing_portfolio ?pool sp
-        ~seeds:(List.init chains (fun i -> seed + i))
-        ~budget:(max 1 (budget / chains))
-        ~cost
-    in
-    let search_result =
-      match strategy with
-      | Exhaustive -> Search.exhaustive ?pool sp ~cost
-      | Random -> Search.random_search ?pool sp ~seed ~budget ~cost
-      | Anneal -> anneal ()
-      | Auto ->
-        if Space.size ~cap:(budget + 1) sp <= budget then Search.exhaustive ?pool sp ~cost
-        else anneal ()
-    in
-    match search_result with
-    | None -> Error "tuning found no legal schedule"
-    | Some search ->
-      (* floor the stochastic search at the heuristic starting point: the
-         default tiles with the first (largest) allowed parallel set *)
-      let searched = decode search.Search.best in
-      let floor_schedule =
-        { (Lower.mdh_default md dev) with
-          Schedule.parallel_dims =
-            (match parallel_options with
-            | Some (first :: _) -> first
-            | Some [] | None -> Lower.parallelisable_dims md) }
+    match recalled with
+    | Some (schedule, estimated_s) ->
+      Metrics.incr m_db_recalls;
+      Ok { schedule; estimated_s; search = db_hit_result estimated_s; from_db = true }
+    | None -> (
+      let sp, decode =
+        Trace.with_span ~cat:"atf" "tuner.space_build" (fun () ->
+            space ?parallel_options md dev)
       in
-      let schedule, estimated_s =
-        match Cost_cache.seconds ctx floor_schedule with
-        | Ok floor_s when floor_s < search.Search.best_cost -> (floor_schedule, floor_s)
-        | _ -> (searched, search.Search.best_cost)
+      let cost config =
+        match Cost_cache.seconds ctx (decode config) with
+        | Ok s -> Some s
+        | Error _ -> None
       in
-      Option.iter (fun d -> Tuning_db.store d key schedule estimated_s) db;
-      Ok { schedule; estimated_s; search; from_db = false })
+      let anneal () =
+        (* K independent chains splitting the budget; the seed list depends
+           only on (seed, chains), so the outcome is identical with or
+           without a pool *)
+        Search.simulated_annealing_portfolio ?pool sp
+          ~seeds:(List.init chains (fun i -> seed + i))
+          ~budget:(max 1 (budget / chains))
+          ~cost
+      in
+      let search_result =
+        Trace.with_span ~cat:"atf" "tuner.search" (fun () ->
+            match strategy with
+            | Exhaustive -> Search.exhaustive ?pool sp ~cost
+            | Random -> Search.random_search ?pool sp ~seed ~budget ~cost
+            | Anneal -> anneal ()
+            | Auto ->
+              if Space.size ~cap:(budget + 1) sp <= budget then
+                Search.exhaustive ?pool sp ~cost
+              else anneal ())
+      in
+      match search_result with
+      | None -> Error "tuning found no legal schedule"
+      | Some search ->
+        (* floor the stochastic search at the heuristic starting point: the
+           default tiles with the first (largest) allowed parallel set *)
+        let searched = decode search.Search.best in
+        let floor_schedule =
+          { (Lower.mdh_default md dev) with
+            Schedule.parallel_dims =
+              (match parallel_options with
+              | Some (first :: _) -> first
+              | Some [] | None -> Lower.parallelisable_dims md) }
+        in
+        let schedule, estimated_s =
+          match Cost_cache.seconds ctx floor_schedule with
+          | Ok floor_s when floor_s < search.Search.best_cost -> (floor_schedule, floor_s)
+          | _ -> (searched, search.Search.best_cost)
+        in
+        Option.iter (fun d -> Tuning_db.store d key schedule estimated_s) db;
+        Ok { schedule; estimated_s; search; from_db = false })
+  in
+  Metrics.observe m_tune_s (Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t_start));
+  result

@@ -55,15 +55,23 @@ let open_db path =
 let path t = t.path
 let size t = Hashtbl.length t.entries
 
+(* process-wide registry mirrors of the per-db counters, so db traffic
+   shows up in --metrics reports alongside everything else *)
+let m_lookups = Mdh_obs.Metrics.counter "atf.tuning_db.lookups"
+let m_hits = Mdh_obs.Metrics.counter "atf.tuning_db.hits"
+let m_stores = Mdh_obs.Metrics.counter "atf.tuning_db.stores"
+
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let find t key =
   Atomic.incr t.lookups;
+  Mdh_obs.Metrics.incr m_lookups;
   match with_lock t (fun () -> Hashtbl.find_opt t.entries key) with
   | Some _ as hit ->
     Atomic.incr t.hits;
+    Mdh_obs.Metrics.incr m_hits;
     hit
   | None -> None
 
@@ -93,7 +101,10 @@ let store t key schedule cost =
           Hashtbl.replace t.entries key (schedule, cost);
           true)
   in
-  if fresh then append_line t key schedule cost
+  if fresh then begin
+    Mdh_obs.Metrics.incr m_stores;
+    append_line t key schedule cost
+  end
 
 let clear t =
   with_lock t (fun () -> Hashtbl.reset t.entries);

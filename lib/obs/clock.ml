@@ -1,0 +1,19 @@
+let t0 = Unix.gettimeofday ()
+
+(* the last timestamp handed out, shared by all domains: reads that race
+   an NTP step (or coarse-clock jitter) are clamped so the sequence of
+   observed timestamps is monotone non-decreasing process-wide *)
+let last = Atomic.make 0L
+
+let now_ns () =
+  let t = Int64.of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if Int64.compare t prev <= 0 then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp ()
+  in
+  clamp ()
+
+let ns_to_s ns = Int64.to_float ns *. 1e-9
+let ns_to_us ns = Int64.to_float ns *. 1e-3

@@ -1,0 +1,17 @@
+(** Process-wide monotonic clock for the observability layer.
+
+    Timestamps are nanoseconds since the process loaded this module.
+    Successive reads never decrease, across all domains: wall-clock
+    steps backwards (NTP, VM migration) are clamped to the last value
+    handed out, so span durations are always >= 0 and trace events sort
+    consistently. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since module initialisation; monotone non-decreasing
+    process-wide. *)
+
+val ns_to_s : int64 -> float
+(** Nanoseconds to seconds. *)
+
+val ns_to_us : int64 -> float
+(** Nanoseconds to microseconds (the Chrome trace_event unit). *)

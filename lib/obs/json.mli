@@ -1,0 +1,18 @@
+(** Minimal JSON emission helpers shared by the exporters (no external
+    dependency; emission only, never parsing). *)
+
+val escape : string -> string
+(** [escape s] is [s] with JSON string escaping applied (no quotes added). *)
+
+val quote : string -> string
+(** [quote s] is [s] escaped and wrapped in double quotes. *)
+
+val number : float -> string
+(** A valid JSON number literal for [f]. Non-finite values (which JSON
+    cannot represent) are emitted as [0]. *)
+
+val obj : (string * string) list -> string
+(** [obj fields] renders an object from already-rendered value strings. *)
+
+val arr : string list -> string
+(** [arr items] renders an array from already-rendered item strings. *)

@@ -1,0 +1,231 @@
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
+
+let n_buckets = 64
+let lowest_edge = 1e-9
+
+type histogram = {
+  h_name : string;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : float Atomic.t;
+  min_v : float Atomic.t;
+  max_v : float Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+(* registration is rare and mutex-protected; updates to a registered
+   metric are lock-free atomics *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let order : string list ref = ref []
+let reg_mutex = Mutex.create ()
+
+let with_reg f =
+  Mutex.lock reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name make select =
+  with_reg (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match select m with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Mdh_obs.Metrics: %S is already a %s" name
+               (kind_name m)))
+      | None ->
+        let m = make () in
+        Hashtbl.add registry name m;
+        order := name :: !order;
+        (match select m with Some v -> v | None -> assert false))
+
+(* atomic float accumulate: CAS on the exact boxed value we read, so the
+   compare is physical equality on that box and the loop is ABA-safe *)
+let rec atomic_update a f =
+  let v = Atomic.get a in
+  let v' = f v in
+  if v' != v && not (Atomic.compare_and_set a v v') then atomic_update a f
+
+(* --- counters --- *)
+
+let counter name =
+  register name
+    (fun () -> C { c_name = name; c_value = Atomic.make 0 })
+    (function C c -> Some c | _ -> None)
+
+let incr c = Atomic.incr c.c_value
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let value c = Atomic.get c.c_value
+let reset_counter c = Atomic.set c.c_value 0
+
+(* --- gauges --- *)
+
+let gauge name =
+  register name
+    (fun () -> G { g_name = name; g_value = Atomic.make 0.0 })
+    (function G g -> Some g | _ -> None)
+
+let set g v = Atomic.set g.g_value v
+let add_gauge g d = atomic_update g.g_value (fun v -> v +. d)
+let gauge_value g = Atomic.get g.g_value
+
+(* --- histograms --- *)
+
+let bucket_index v =
+  if not (v > lowest_edge) (* catches <=, nan *) then 0
+  else begin
+    let i = ref 0 and edge = ref lowest_edge in
+    while !i < n_buckets - 1 && v > !edge do
+      i := !i + 1;
+      (* doubling is exact binary scaling, so the edges match bucket_upper *)
+      edge := !edge *. 2.0
+    done;
+    !i
+  end
+
+let bucket_upper i =
+  if i >= n_buckets - 1 then infinity else Float.ldexp lowest_edge i
+
+let histogram name =
+  register name
+    (fun () ->
+      H
+        { h_name = name;
+          buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+          count = Atomic.make 0;
+          sum = Atomic.make 0.0;
+          min_v = Atomic.make infinity;
+          max_v = Atomic.make neg_infinity })
+    (function H h -> Some h | _ -> None)
+
+let observe h v =
+  Atomic.incr h.buckets.(bucket_index v);
+  Atomic.incr h.count;
+  atomic_update h.sum (fun s -> s +. v);
+  atomic_update h.min_v (fun m -> if v < m then v else m);
+  atomic_update h.max_v (fun m -> if v > m then v else m)
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (int * int) list;
+}
+
+let histogram_value h =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    let n = Atomic.get h.buckets.(i) in
+    if n > 0 then buckets := (i, n) :: !buckets
+  done;
+  { h_count = Atomic.get h.count;
+    h_sum = Atomic.get h.sum;
+    h_min = Atomic.get h.min_v;
+    h_max = Atomic.get h.max_v;
+    h_buckets = !buckets }
+
+(* --- registry-wide views --- *)
+
+type snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_snapshot
+
+let dump () =
+  let names = with_reg (fun () -> List.rev !order) in
+  List.filter_map
+    (fun name ->
+      match with_reg (fun () -> Hashtbl.find_opt registry name) with
+      | Some (C c) -> Some (name, Counter_v (value c))
+      | Some (G g) -> Some (name, Gauge_v (gauge_value g))
+      | Some (H h) -> Some (name, Histogram_v (histogram_value h))
+      | None -> None)
+    names
+
+let reset () =
+  let metrics = with_reg (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry []) in
+  List.iter
+    (function
+      | C c -> reset_counter c
+      | G g -> set g 0.0
+      | H h ->
+        Array.iter (fun b -> Atomic.set b 0) h.buckets;
+        Atomic.set h.count 0;
+        Atomic.set h.sum 0.0;
+        Atomic.set h.min_v infinity;
+        Atomic.set h.max_v neg_infinity)
+    metrics
+
+let fmt_seconds s =
+  if Float.abs s < 1e-6 then Printf.sprintf "%.0f ns" (s *. 1e9)
+  else if Float.abs s < 1e-3 then Printf.sprintf "%.1f us" (s *. 1e6)
+  else if Float.abs s < 1.0 then Printf.sprintf "%.2f ms" (s *. 1e3)
+  else Printf.sprintf "%.3f s" s
+
+let fmt_value name = function
+  | Counter_v n -> string_of_int n
+  | Gauge_v v ->
+    (* the _s suffix convention marks seconds-valued metrics *)
+    if String.length name >= 2 && String.sub name (String.length name - 2) 2 = "_s"
+    then fmt_seconds v
+    else Printf.sprintf "%.4g" v
+  | Histogram_v h ->
+    if h.h_count = 0 then "empty"
+    else
+      Printf.sprintf "n=%d sum=%s min=%s max=%s mean=%s" h.h_count
+        (fmt_seconds h.h_sum) (fmt_seconds h.h_min) (fmt_seconds h.h_max)
+        (fmt_seconds (h.h_sum /. float_of_int h.h_count))
+
+let summary () =
+  let entries =
+    List.filter
+      (fun (_, v) ->
+        match v with
+        | Counter_v 0 -> false
+        | Gauge_v 0.0 -> false
+        | Histogram_v h -> h.h_count > 0
+        | _ -> true)
+      (dump ())
+  in
+  if entries = [] then ""
+  else begin
+    let width =
+      List.fold_left (fun w (name, _) -> max w (String.length name)) 0 entries
+    in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "[metrics]\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s  %s\n" width name (fmt_value name v)))
+      entries;
+    Buffer.contents buf
+  end
+
+let to_json () =
+  let field (name, v) =
+    ( name,
+      match v with
+      | Counter_v n -> string_of_int n
+      | Gauge_v v -> Json.number v
+      | Histogram_v h ->
+        Json.obj
+          [ ("count", string_of_int h.h_count);
+            ("sum", Json.number h.h_sum);
+            ("min", Json.number (if h.h_count = 0 then 0.0 else h.h_min));
+            ("max", Json.number (if h.h_count = 0 then 0.0 else h.h_max));
+            ("buckets",
+             Json.arr
+               (List.map
+                  (fun (i, n) ->
+                    Json.obj
+                      [ ("le", Json.number (bucket_upper i));
+                        ("count", string_of_int n) ])
+                  h.h_buckets)) ] )
+  in
+  Json.obj (List.map field (dump ()))

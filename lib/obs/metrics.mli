@@ -1,0 +1,86 @@
+(** Process-wide metrics registry: named counters, gauges and
+    histograms, shared by every domain.
+
+    Handles are obtained by name (find-or-register, idempotent); updates
+    are single atomic operations, safe from pool worker domains, and are
+    always on — the registry is the source of truth for cheap counts
+    (cache hits, evaluations) whether or not the user asked for a
+    metrics report. Anything that needs clock reads lives in {!Trace}
+    and is gated behind its enabled flag.
+
+    Naming convention (see docs/OBSERVABILITY.md):
+    [<layer>.<component>.<what>[_<unit>]], e.g. [atf.cost_cache.hits],
+    [runtime.pool.busy_s]. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Counters} — monotone integers (resettable) *)
+
+val counter : string -> counter
+(** Find or register the counter with this name. Raises
+    [Invalid_argument] if the name is registered as a different metric
+    kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val reset_counter : counter -> unit
+
+(** {1 Gauges} — last-written floats, with atomic accumulate *)
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} — fixed log-scale (power-of-two) buckets
+
+    Bucket [i] counts observations [v] with
+    [bucket_upper (i-1) < v <= bucket_upper i]; bucket 0 absorbs
+    everything at or below the lowest edge and the last bucket is
+    unbounded above. Designed for durations in seconds: the edges run
+    from 1 ns ([bucket_upper 0 = 1e-9]) up by doubling. *)
+
+val n_buckets : int
+val bucket_index : float -> int
+(** The bucket an observation falls into; total function (negative and
+    non-finite values land in bucket 0 / the last bucket). *)
+
+val bucket_upper : int -> float
+(** Inclusive upper edge of bucket [i]; [infinity] for the last bucket. *)
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [infinity] when empty *)
+  h_max : float;  (** [neg_infinity] when empty *)
+  h_buckets : (int * int) list;  (** (bucket index, count), non-empty buckets only *)
+}
+
+val histogram_value : histogram -> histogram_snapshot
+
+(** {1 Registry-wide views} *)
+
+type snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histogram_snapshot
+
+val dump : unit -> (string * snapshot) list
+(** All registered metrics in registration order. *)
+
+val reset : unit -> unit
+(** Zero every counter, gauge and histogram; registrations are kept. *)
+
+val summary : unit -> string
+(** Human-readable summary table of the whole registry (empty string
+    when nothing was recorded). *)
+
+val to_json : unit -> string
+(** The registry as one JSON object: counters as integers, gauges as
+    numbers, histograms as [{"count","sum","min","max","buckets"}]. *)

@@ -1,0 +1,180 @@
+type phase = Complete of int64 | Instant | Counter of float
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_ns : int64;
+  ev_tid : int;
+  ev_ph : phase;
+  ev_args : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* one buffer per domain, found through DLS so emission never contends;
+   the global list keeps buffers of dead worker domains reachable for
+   export *)
+type buffer = { b_mutex : Mutex.t; mutable b_events : event list }
+
+let buffers_mutex = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let b = { b_mutex = Mutex.create (); b_events = [] } in
+      Mutex.lock buffers_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_mutex;
+      b)
+
+let emit ev =
+  let b = Domain.DLS.get buffer_key in
+  (* the per-domain mutex is uncontended except against a concurrent
+     export; it makes drain-while-emitting well-defined *)
+  Mutex.lock b.b_mutex;
+  b.b_events <- ev :: b.b_events;
+  Mutex.unlock b.b_mutex
+
+let tid () = (Domain.self () :> int)
+
+let with_span ?(cat = "mdh") ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        emit
+          { ev_name = name; ev_cat = cat; ev_ts_ns = t0; ev_tid = tid ();
+            ev_ph = Complete (Int64.sub t1 t0); ev_args = args })
+      f
+  end
+
+let instant ?(cat = "mdh") ?(args = []) name =
+  if Atomic.get enabled_flag then
+    emit
+      { ev_name = name; ev_cat = cat; ev_ts_ns = Clock.now_ns ();
+        ev_tid = tid (); ev_ph = Instant; ev_args = args }
+
+let counter_event ?(cat = "mdh") name v =
+  if Atomic.get enabled_flag then
+    emit
+      { ev_name = name; ev_cat = cat; ev_ts_ns = Clock.now_ns ();
+        ev_tid = tid (); ev_ph = Counter v; ev_args = [] }
+
+let events () =
+  let bufs =
+    Mutex.lock buffers_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock buffers_mutex) (fun () -> !buffers)
+  in
+  let all =
+    List.concat_map
+      (fun b ->
+        Mutex.lock b.b_mutex;
+        Fun.protect ~finally:(fun () -> Mutex.unlock b.b_mutex) (fun () -> b.b_events))
+      bufs
+  in
+  (* earliest first; at equal timestamps put the longer (enclosing) span
+     first so parents precede their children *)
+  let dur = function Complete d -> d | Instant | Counter _ -> 0L in
+  List.sort
+    (fun a b ->
+      match Int64.compare a.ev_ts_ns b.ev_ts_ns with
+      | 0 -> Int64.compare (dur b.ev_ph) (dur a.ev_ph)
+      | c -> c)
+    all
+
+let clear () =
+  let bufs =
+    Mutex.lock buffers_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock buffers_mutex) (fun () -> !buffers)
+  in
+  List.iter
+    (fun b ->
+      Mutex.lock b.b_mutex;
+      b.b_events <- [];
+      Mutex.unlock b.b_mutex)
+    bufs
+
+let chrome_event ev =
+  let common =
+    [ ("name", Json.quote ev.ev_name);
+      ("cat", Json.quote ev.ev_cat);
+      ("ts", Json.number (Clock.ns_to_us ev.ev_ts_ns));
+      ("pid", "1");
+      ("tid", string_of_int ev.ev_tid) ]
+  in
+  let args_obj args =
+    Json.obj (List.map (fun (k, v) -> (k, Json.quote v)) args)
+  in
+  match ev.ev_ph with
+  | Complete dur ->
+    Json.obj
+      (common
+      @ [ ("ph", {|"X"|}); ("dur", Json.number (Clock.ns_to_us dur)) ]
+      @ if ev.ev_args = [] then [] else [ ("args", args_obj ev.ev_args) ])
+  | Instant ->
+    Json.obj
+      (common
+      @ [ ("ph", {|"i"|}); ("s", {|"t"|}) ]
+      @ if ev.ev_args = [] then [] else [ ("args", args_obj ev.ev_args) ])
+  | Counter v ->
+    Json.obj
+      (common @ [ ("ph", {|"C"|}); ("args", Json.obj [ ("value", Json.number v) ]) ])
+
+let write_chrome oc =
+  output_string oc "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun ev ->
+      if not !first then output_string oc ",\n";
+      first := false;
+      output_string oc (chrome_event ev))
+    (events ());
+  output_string oc "\n],\"displayTimeUnit\":\"ms\",\"otherData\":";
+  output_string oc (Json.obj [ ("generator", Json.quote "mdh_obs") ]);
+  output_string oc "}\n"
+
+let summary () =
+  let tbl : (string, int ref * int64 ref * int64 ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun ev ->
+      match ev.ev_ph with
+      | Complete dur ->
+        let count, total, longest =
+          match Hashtbl.find_opt tbl ev.ev_name with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0, ref 0L, ref 0L) in
+            Hashtbl.add tbl ev.ev_name cell;
+            order := ev.ev_name :: !order;
+            cell
+        in
+        count := !count + 1;
+        total := Int64.add !total dur;
+        if Int64.compare dur !longest > 0 then longest := dur
+      | Instant | Counter _ -> ())
+    (events ());
+  let names = List.rev !order in
+  if names = [] then ""
+  else begin
+    let width = List.fold_left (fun w n -> max w (String.length n)) 4 names in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "[trace] %-*s %8s %12s %12s %12s\n" width "span" "count"
+         "total" "mean" "max");
+    List.iter
+      (fun name ->
+        let count, total, longest = Hashtbl.find tbl name in
+        let ms ns = Clock.ns_to_s ns *. 1e3 in
+        Buffer.add_string buf
+          (Printf.sprintf "[trace] %-*s %8d %9.3f ms %9.3f ms %9.3f ms\n" width
+             name !count (ms !total)
+             (ms !total /. float_of_int !count)
+             (ms !longest)))
+      names;
+    Buffer.contents buf
+  end

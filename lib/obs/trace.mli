@@ -1,0 +1,54 @@
+(** Hierarchical tracing: timed spans, instant markers and counter
+    tracks, exported as a human summary or Chrome [trace_event] JSON
+    (open in [chrome://tracing] or https://ui.perfetto.dev).
+
+    Off by default. When disabled every entry point is a single atomic
+    load and an immediate return, so instrumentation can stay in the hot
+    path permanently; deterministic outputs (tuned schedules, report
+    tables) are bit-identical with tracing on or off because spans never
+    influence control flow.
+
+    Events are appended to a per-domain buffer (created on first use,
+    registered globally), so emission from pool worker domains is safe
+    and contention-free; buffers are drained and merged at export. *)
+
+type phase =
+  | Complete of int64  (** a span; payload is the duration in ns *)
+  | Instant
+  | Counter of float   (** a sampled value, e.g. best-cost-so-far *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_ns : int64;  (** start timestamp, {!Clock.now_ns} domain *)
+  ev_tid : int;      (** numeric id of the emitting domain *)
+  ev_ph : phase;
+  ev_args : (string * string) list;
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_span : ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()]; when tracing is enabled, emits a
+    Complete event covering its execution (also when [f] raises). *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+
+val counter_event : ?cat:string -> string -> float -> unit
+(** A Chrome counter-track sample (rendered as a stepped graph). *)
+
+val events : unit -> event list
+(** Drain-free snapshot of all buffered events, merged across domains
+    and sorted by (timestamp, longest-span-first). *)
+
+val clear : unit -> unit
+(** Drop all buffered events (buffers stay registered). *)
+
+val write_chrome : out_channel -> unit
+(** Write the buffered events as Chrome trace JSON: an object with a
+    [traceEvents] array of [X]/[i]/[C] events (timestamps in µs). *)
+
+val summary : unit -> string
+(** Per-span-name aggregation (count, total, mean, max) of the buffered
+    Complete events; empty string when nothing was traced. *)

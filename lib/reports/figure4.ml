@@ -40,6 +40,7 @@ let table (dev : Device.t) =
     (fun (w : W.t) ->
       List.iter
         (fun (inp, params) ->
+          Report.observe_workload (w.W.wl_name ^ "/" ^ inp) @@ fun () ->
           let md = W.to_md_hom w params in
           let mdh = Report.mdh_seconds md dev in
           let cells =

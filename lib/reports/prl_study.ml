@@ -18,6 +18,7 @@ let table () =
   in
   List.iter
     (fun (inp, params) ->
+      Report.observe_workload ("prl/" ^ inp) @@ fun () ->
       let md = W.to_md_hom Mdh_workloads.Prl.prl params in
       let n = W.p params "N" and i = W.p params "I" in
       List.iter

@@ -15,3 +15,14 @@ val md_of : Mdh_workloads.Workload.t -> string -> Mdh_core.Md_hom.t
 val mdh_seconds : Mdh_core.Md_hom.t -> Mdh_machine.Device.t -> float
 (** Auto-tuned MDH time estimate; raises [Failure] if compilation fails
     (it cannot, for well-formed computations). *)
+
+val observe_workload : string -> (unit -> 'a) -> 'a
+(** Run a report's per-workload body under a trace span and account the
+    cost-cache hit/miss delta (and wall time) to [name] in the ledger,
+    accumulating across devices and repeat visits. *)
+
+val workload_obs : unit -> (string * int * int * float) list
+(** The ledger in first-visit order: (name, cost-cache hits, misses,
+    wall seconds). *)
+
+val reset_workload_obs : unit -> unit

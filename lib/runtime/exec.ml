@@ -16,49 +16,72 @@ let host_device pool =
     min_bw_fraction = 1.0;
     compute_saturation_units = 1 }
 
-let run_seq md env = Semantics.exec md env
+module Trace = Mdh_obs.Trace
+module Metrics = Mdh_obs.Metrics
+
+let m_runs = Metrics.counter "runtime.exec.runs"
+let m_boxes = Metrics.counter "runtime.exec.boxes"
+
+let run_seq md env =
+  Trace.with_span ~cat:"runtime" "exec.seq"
+    ~args:[ ("hom", md.Md_hom.hom_name) ]
+    (fun () -> Semantics.exec md env)
 
 let run pool (md : Md_hom.t) sched env =
   match Schedule.legal md (host_device pool) { sched with Schedule.used_layers = [] } with
   | Error _ as e -> e
   | Ok () ->
-    let sched = Schedule.clamp md sched in
-    (match sched.Schedule.parallel_dims with
-    | [] -> Ok (run_seq md env)
-    | pd ->
-      (* split the outermost parallel dimension into per-worker boxes *)
-      let d = List.fold_left min (List.hd pd) pd in
-      let extent = md.sizes.(d) in
-      let workers = Pool.num_workers pool in
-      let n_chunks = min extent (workers * 2) in
-      let chunk = (extent + n_chunks - 1) / n_chunks in
-      let env = Semantics.alloc_outputs md env in
-      let rank = Md_hom.rank md in
-      List.iter
-        (fun (o : Md_hom.output) ->
-          let thunks =
-            Array.init n_chunks (fun c ->
-                fun () ->
-                  let lo = Array.make rank 0 in
-                  let sz = Array.copy md.sizes in
-                  lo.(d) <- c * chunk;
-                  sz.(d) <- min chunk (extent - (c * chunk));
-                  if sz.(d) <= 0 then None
-                  else Some (Semantics.eval_box md env o ~lo ~sz))
-          in
-          let partials = Pool.run_in_parallel pool thunks in
-          let combined =
-            Array.fold_left
-              (fun acc partial ->
-                match (acc, partial) with
-                | None, p -> p
-                | Some a, Some p ->
-                  Some (Combine.combine_partials md.combine_ops.(d) ~dim:d a p)
-                | Some _, None -> acc)
-              None partials
-          in
-          match combined with
-          | Some tensor -> Semantics.write_output env md o tensor
-          | None -> ())
-        md.outputs;
-      Ok env)
+    Metrics.incr m_runs;
+    Trace.with_span ~cat:"runtime" "exec.run"
+      ~args:[ ("hom", md.Md_hom.hom_name) ]
+      (fun () ->
+        let sched = Schedule.clamp md sched in
+        match sched.Schedule.parallel_dims with
+        | [] -> Ok (run_seq md env)
+        | pd ->
+          (* split the outermost parallel dimension into per-worker boxes *)
+          let d = List.fold_left min (List.hd pd) pd in
+          let extent = md.sizes.(d) in
+          let workers = Pool.num_workers pool in
+          let n_chunks = min extent (workers * 2) in
+          let chunk = (extent + n_chunks - 1) / n_chunks in
+          let env = Semantics.alloc_outputs md env in
+          let rank = Md_hom.rank md in
+          List.iter
+            (fun (o : Md_hom.output) ->
+              let thunks =
+                Array.init n_chunks (fun c ->
+                    fun () ->
+                      let lo = Array.make rank 0 in
+                      let sz = Array.copy md.sizes in
+                      lo.(d) <- c * chunk;
+                      sz.(d) <- min chunk (extent - (c * chunk));
+                      if sz.(d) <= 0 then None
+                      else begin
+                        Metrics.incr m_boxes;
+                        Trace.with_span ~cat:"runtime" "exec.box"
+                          ~args:
+                            [ ("output", o.Md_hom.out_name);
+                              ("chunk", string_of_int c) ]
+                          (fun () -> Some (Semantics.eval_box md env o ~lo ~sz))
+                      end)
+              in
+              let partials = Pool.run_in_parallel pool thunks in
+              let combined =
+                Trace.with_span ~cat:"runtime" "exec.recombine"
+                  ~args:[ ("output", o.Md_hom.out_name) ]
+                  (fun () ->
+                    Array.fold_left
+                      (fun acc partial ->
+                        match (acc, partial) with
+                        | None, p -> p
+                        | Some a, Some p ->
+                          Some (Combine.combine_partials md.combine_ops.(d) ~dim:d a p)
+                        | Some _, None -> acc)
+                      None partials)
+              in
+              match combined with
+              | Some tensor -> Semantics.write_output env md o tensor
+              | None -> ())
+            md.outputs;
+          Ok env)

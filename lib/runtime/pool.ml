@@ -1,3 +1,7 @@
+module Clock = Mdh_obs.Clock
+module Metrics = Mdh_obs.Metrics
+module Trace = Mdh_obs.Trace
+
 type t = {
   mutable domains : unit Domain.t array;
   mutex : Mutex.t;
@@ -11,9 +15,22 @@ type t = {
   in_job : bool Atomic.t;
       (* nested submission from inside a job would deadlock the pool; detect
          it and fail loudly instead *)
+  busy_ns : int64 array;
+      (* per-domain busy time: slot 0 is the submitting caller's share,
+         slot i+1 is worker i. Single writer per slot. *)
+  jobs : int Atomic.t;
+  created_ns : int64;
 }
 
-let worker pool () =
+(* process-wide accumulators, published when pools shut down, so the
+   front ends can report utilization after [with_pool] has closed *)
+let m_jobs = Metrics.counter "runtime.pool.jobs"
+let m_busy = Metrics.gauge "runtime.pool.busy_s"
+let m_capacity = Metrics.gauge "runtime.pool.capacity_s"
+let m_utilization = Metrics.gauge "runtime.pool.utilization"
+let m_workers = Metrics.gauge "runtime.pool.workers"
+
+let worker pool i () =
   let seen = ref 0 in
   let continue = ref true in
   while !continue do
@@ -32,7 +49,11 @@ let worker pool () =
       (* [run_job] hands workers a wrapper that funnels exceptions into the
          job's error channel; the catch-all here only protects pool
          liveness (a dead worker domain would deadlock the barrier) *)
-      (try job () with _ -> ());
+      let t0 = Clock.now_ns () in
+      Trace.with_span ~cat:"runtime" "pool.worker_job" (fun () ->
+          try job () with _ -> ());
+      pool.busy_ns.(i + 1) <-
+        Int64.add pool.busy_ns.(i + 1) (Int64.sub (Clock.now_ns ()) t0);
       Mutex.lock pool.mutex;
       pool.active <- pool.active - 1;
       if pool.active = 0 then Condition.broadcast pool.job_done;
@@ -49,15 +70,27 @@ let create ?num_domains () =
   let pool =
     { domains = [||]; mutex = Mutex.create (); job_ready = Condition.create ();
       job_done = Condition.create (); job = None; generation = 0; active = 0;
-      stop = false; stopped = false; in_job = Atomic.make false }
+      stop = false; stopped = false; in_job = Atomic.make false;
+      busy_ns = Array.make (n + 1) 0L; jobs = Atomic.make 0;
+      created_ns = Clock.now_ns () }
   in
-  pool.domains <- Array.init n (fun _ -> Domain.spawn (worker pool));
+  pool.domains <- Array.init n (fun i -> Domain.spawn (worker pool i));
   pool
 
 let num_workers t = Array.length t.domains + 1
 
+(* time the caller's own share of a job into slot 0 (waiting at the
+   barrier is excluded: only the execution of [share] counts as busy) *)
+let timed_caller_share t share =
+  let t0 = Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.busy_ns.(0) <- Int64.add t.busy_ns.(0) (Int64.sub (Clock.now_ns ()) t0))
+    share
+
 let run_job t job =
-  if Array.length t.domains = 0 then job ()
+  Atomic.incr t.jobs;
+  if Array.length t.domains = 0 then timed_caller_share t job
   else if not (Atomic.compare_and_set t.in_job false true) then
     invalid_arg
       "Pool: nested parallel submission from inside a running job (would deadlock); \
@@ -71,25 +104,26 @@ let run_job t job =
       try job ()
       with e -> ignore (Atomic.compare_and_set error None (Some e))
     in
-    Mutex.lock t.mutex;
-    t.job <- Some wrapped;
-    t.generation <- t.generation + 1;
-    t.active <- Array.length t.domains;
-    Condition.broadcast t.job_ready;
-    Mutex.unlock t.mutex;
-    (* even if the caller's share raises (or an async exception lands), the
-       pool must wait for its workers and reset its state — otherwise the
-       stale [job]/[in_job] poison every later submission *)
-    Fun.protect
-      ~finally:(fun () ->
+    Trace.with_span ~cat:"runtime" "pool.job" (fun () ->
         Mutex.lock t.mutex;
-        while t.active > 0 do
-          Condition.wait t.job_done t.mutex
-        done;
-        t.job <- None;
+        t.job <- Some wrapped;
+        t.generation <- t.generation + 1;
+        t.active <- Array.length t.domains;
+        Condition.broadcast t.job_ready;
         Mutex.unlock t.mutex;
-        Atomic.set t.in_job false)
-      wrapped;
+        (* even if the caller's share raises (or an async exception lands), the
+           pool must wait for its workers and reset its state — otherwise the
+           stale [job]/[in_job] poison every later submission *)
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock t.mutex;
+            while t.active > 0 do
+              Condition.wait t.job_done t.mutex
+            done;
+            t.job <- None;
+            Mutex.unlock t.mutex;
+            Atomic.set t.in_job false)
+          (fun () -> timed_caller_share t wrapped));
     match Atomic.get error with Some e -> raise e | None -> ()
   end
 
@@ -211,6 +245,46 @@ let run_in_parallel t thunks =
     Array.map Option.get results
   end
 
+type stats = {
+  workers : int;
+  jobs_run : int;
+  busy_s : float array;
+  wall_s : float;
+  utilization : float;
+}
+
+let stats t =
+  let wall_s = Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t.created_ns) in
+  let busy_s = Array.map Clock.ns_to_s t.busy_ns in
+  let n_domains = Array.length t.domains in
+  let utilization =
+    (* fraction of the worker domains' lifetime spent running jobs; the
+       caller's share (slot 0) is excluded because the caller is busy with
+       its own sequential work between jobs *)
+    if n_domains = 0 || wall_s <= 0.0 then 0.0
+    else
+      Array.fold_left ( +. ) 0.0 (Array.sub busy_s 1 n_domains)
+      /. (wall_s *. float_of_int n_domains)
+  in
+  { workers = num_workers t; jobs_run = Atomic.get t.jobs; busy_s; wall_s;
+    utilization }
+
+let publish_metrics t =
+  let s = stats t in
+  let n_domains = Array.length t.domains in
+  Metrics.add m_jobs s.jobs_run;
+  Metrics.set m_workers (float_of_int s.workers);
+  if n_domains > 0 then begin
+    (* busy and capacity cover the worker domains only, mirroring
+       [stats]: cumulative across every pool this process has retired *)
+    Metrics.add_gauge m_busy
+      (Array.fold_left ( +. ) 0.0 (Array.sub s.busy_s 1 n_domains));
+    Metrics.add_gauge m_capacity (s.wall_s *. float_of_int n_domains);
+    let capacity = Metrics.gauge_value m_capacity in
+    if capacity > 0.0 then
+      Metrics.set m_utilization (Metrics.gauge_value m_busy /. capacity)
+  end
+
 let shutdown t =
   if not t.stopped then begin
     t.stopped <- true;
@@ -218,7 +292,8 @@ let shutdown t =
     t.stop <- true;
     Condition.broadcast t.job_ready;
     Mutex.unlock t.mutex;
-    Array.iter Domain.join t.domains
+    Array.iter Domain.join t.domains;
+    publish_metrics t
   end
 
 let with_pool ?num_domains f =

@@ -18,20 +18,24 @@ let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let find_or_add t k compute =
+let find_or_add ?record t k compute =
+  let note hit = match record with Some f -> f ~hit | None -> () in
   if not t.enabled then begin
     Atomic.incr t.misses;
+    note false;
     compute ()
   end
   else
     match with_lock t (fun () -> Hashtbl.find_opt t.table k) with
     | Some v ->
       Atomic.incr t.hits;
+      note true;
       v
     | None ->
       (* compute outside the lock: concurrent domains may duplicate work on
          the same key, but they never block each other on a long compute *)
       Atomic.incr t.misses;
+      note false;
       let v = compute () in
       with_lock t (fun () ->
           if not (Hashtbl.mem t.table k) then Hashtbl.add t.table k v);

@@ -16,12 +16,14 @@ val key : string list -> string
 (** Canonical digest of the key components (order-sensitive, collision
     resistant for our purposes: an MD5 over the NUL-joined parts). *)
 
-val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+val find_or_add : ?record:(hit:bool -> unit) -> 'a t -> string -> (unit -> 'a) -> 'a
 (** Return the cached value for the key, computing and caching it on a
     miss. The compute function runs outside the table lock, so it may run
     more than once under concurrent misses of the same key; it must be
     pure. When the table is disabled, every call computes (and counts as a
-    miss). *)
+    miss). [record] is invoked once per call with the hit/miss verdict —
+    the hook callers use to mirror the outcome into an external metrics
+    registry. *)
 
 val set_enabled : 'a t -> bool -> unit
 (** Toggle caching; existing entries are kept but not consulted while

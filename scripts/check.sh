@@ -8,7 +8,9 @@
 #   - the build or any test fails,
 #   - build artifacts under _build/ (or *.install files) are ever tracked
 #     by git again (they were purged in the tuning-engine PR and are
-#     covered by .gitignore).
+#     covered by .gitignore),
+#   - observability run artifacts (BENCH_obs.json, *.trace.json) are
+#     tracked: they are per-run outputs, not sources.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,6 +20,14 @@ if [ -n "$tracked_artifacts" ]; then
     echo "error: build artifacts are tracked by git:" >&2
     echo "$tracked_artifacts" | head -10 >&2
     echo "(run: git rm -r --cached _build '*.install')" >&2
+    exit 1
+fi
+
+tracked_obs=$(git ls-files -- 'BENCH_obs.json' '**/BENCH_obs.json' '*.trace.json' || true)
+if [ -n "$tracked_obs" ]; then
+    echo "error: observability artifacts are tracked by git:" >&2
+    echo "$tracked_obs" | head -10 >&2
+    echo "(run: git rm --cached <file>; they are covered by .gitignore)" >&2
     exit 1
 fi
 

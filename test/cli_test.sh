@@ -1,0 +1,62 @@
+#!/bin/sh
+# CLI contract tests for mdhc: --version, non-zero exit codes on bad
+# input, observability flags, and schedule bit-identity under --trace.
+# Usage: cli_test.sh path/to/mdhc.exe
+set -eu
+
+MDHC=$1
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# --version exits 0 and prints a dotted version number
+"$MDHC" --version >"$tmp/version.txt" 2>&1 || fail "--version exited non-zero"
+grep -Eq '^[0-9]+\.[0-9]+' "$tmp/version.txt" || fail "--version printed no version"
+
+# bad invocations must exit non-zero (and not crash)
+if "$MDHC" frobnicate >/dev/null 2>&1; then
+  fail "unknown subcommand exited 0"
+fi
+if "$MDHC" tune no-such-workload --no-cache >/dev/null 2>&1; then
+  fail "unknown workload exited 0"
+fi
+if "$MDHC" tune matmul --no-cache --device quantum >/dev/null 2>&1; then
+  fail "unknown device exited 0"
+fi
+if "$MDHC" tune matmul --no-cache --input 99 >/dev/null 2>&1; then
+  fail "unknown input set exited 0"
+fi
+if "$MDHC" tune >/dev/null 2>&1; then
+  fail "missing positional workload exited 0"
+fi
+
+# tune with observability on: exit 0, metrics summary on stdout, trace
+# file is Chrome trace_event JSON
+"$MDHC" tune matmul --no-cache --budget 40 \
+  --trace "$tmp/trace.json" --metrics >"$tmp/traced.txt" 2>"$tmp/traced.err" ||
+  fail "tune --trace --metrics exited non-zero"
+grep -q '"traceEvents"' "$tmp/trace.json" || fail "trace file has no traceEvents"
+grep -q '"ph"' "$tmp/trace.json" || fail "trace file has no events"
+grep -q '\[metrics\]' "$tmp/traced.txt" || fail "no [metrics] summary on stdout"
+grep -q 'trace written to' "$tmp/traced.err" || fail "no trace notice on stderr"
+
+# bit-identity: the tuned schedule (and every other deterministic line)
+# is unchanged by tracing; only wall-clock timings may differ
+"$MDHC" tune matmul --no-cache --budget 40 >"$tmp/plain.txt" 2>/dev/null ||
+  fail "plain tune exited non-zero"
+grep -v 'wall)' "$tmp/plain.txt" >"$tmp/plain.cmp"
+# strip the observability summaries the traced run appends, then compare
+sed -n '/^\[metrics\]$/q;p' "$tmp/traced.txt" | grep -v 'wall)' >"$tmp/traced.cmp"
+diff -u "$tmp/plain.cmp" "$tmp/traced.cmp" >&2 ||
+  fail "tracing changed deterministic output"
+grep -q '^best schedule:' "$tmp/plain.cmp" || fail "no schedule line to compare"
+
+# run with --metrics also works end to end
+"$MDHC" run dot --metrics >"$tmp/run.txt" 2>&1 || fail "run --metrics exited non-zero"
+grep -q 'result check: OK' "$tmp/run.txt" || fail "run result check failed"
+
+echo "cli_test: all checks passed"

@@ -316,13 +316,13 @@ let test_cost_cache_absorbs_repeat_tuning () =
   Cost_cache.reset_stats ();
   let a = tune () in
   let cold = Cost_cache.stats () in
-  check Alcotest.bool "cold run computes" true (cold.Mdh_support.Memo.n_misses > 0);
+  check Alcotest.bool "cold run computes" true (cold.Cost_cache.n_misses > 0);
   let b = tune () in
   let warm = Cost_cache.stats () in
   check Alcotest.bool "repeat run is all hits" true
-    (warm.Mdh_support.Memo.n_misses = cold.Mdh_support.Memo.n_misses);
+    (warm.Cost_cache.n_misses = cold.Cost_cache.n_misses);
   check Alcotest.bool "hits grew" true
-    (warm.Mdh_support.Memo.n_hits > cold.Mdh_support.Memo.n_hits);
+    (warm.Cost_cache.n_hits > cold.Cost_cache.n_hits);
   check Alcotest.bool "cached runs agree" true (a.Tuner.schedule = b.Tuner.schedule)
 
 let suite =

@@ -16,4 +16,5 @@ let () =
       Test_codegen.suite;
       Test_fuzz.suite;
       Test_model_props.suite;
-      Test_reports.suite ]
+      Test_reports.suite;
+      Test_obs.suite ]
