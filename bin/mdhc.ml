@@ -12,9 +12,15 @@
      mdhc tune matmul --tuning-db /tmp/t.db
      mdhc compare ccsd(t) --device gpu
      mdhc run prl --parallel
-     mdhc tune matmul --trace /tmp/t.json --metrics   (observability) *)
+     mdhc tune matmul --trace /tmp/t.json --metrics   (observability)
+     mdhc check                          (analyze the whole catalogue)
+     mdhc check matvec --strict
+     mdhc check --file examples/mcc.mdh -P N=1 ... --json *)
 
 open Cmdliner
+
+let version = "1.2.0"
+
 module W = Mdh_workloads.Workload
 module Device = Mdh_machine.Device
 module Schedule = Mdh_lowering.Schedule
@@ -403,11 +409,87 @@ let run_cmd =
       $ Arg.(value & opt string "test" & info [ "input"; "i" ])
       $ seed_arg $ parallel_arg $ trace_arg $ metrics_arg)
 
+let check_cmd =
+  let doc =
+    "Run the multi-pass static analyzer: directive validation with \
+     accumulated diagnostics (stable MDH0xx codes), combine-operator \
+     property verification, and access/locality lints. Targets the whole \
+     workload catalogue (no arguments), one workload, or a #pragma mdh \
+     source file (--file). Exit status is 1 when any error is reported — \
+     or any warning under --strict; hints never fail the check."
+  in
+  let workload_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let file_arg =
+    let doc = "Analyze a textual #pragma mdh source file instead of a catalogue workload." in
+    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~doc ~docv:"FILE")
+  in
+  let params_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string int) []
+      & info [ "param"; "P" ] ~docv:"NAME=VALUE")
+  in
+  let json_arg =
+    let doc = "Emit the diagnostics as SARIF 2.1.0 JSON on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let strict_arg =
+    let doc = "Treat warnings as fatal: exit 1 when any warning is reported." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let run workload file params json strict metrics =
+    let targets =
+      match (file, workload) with
+      | Some f, _ ->
+        let src = In_channel.with_open_text f In_channel.input_all in
+        let name = Filename.remove_extension (Filename.basename f) in
+        [ (f, Mdh_analysis.Analyze.pragma ~name ~params src) ]
+      | None, Some name ->
+        let w = or_die (find_workload name) in
+        [ ( "workload:" ^ w.W.wl_name,
+            Mdh_analysis.Analyze.directive (w.W.make w.W.test_params) ) ]
+      | None, None ->
+        List.map
+          (fun (w : W.t) ->
+            ( "workload:" ^ w.W.wl_name,
+              Mdh_analysis.Analyze.directive (w.W.make w.W.test_params) ))
+          Mdh_workloads.Catalog.all
+    in
+    let all = List.concat_map snd targets in
+    if json then
+      print_endline (Mdh_analysis.Diagnostic.sarif ~tool_version:version targets)
+    else begin
+      List.iter
+        (fun (uri, ds) ->
+          if ds <> [] then begin
+            Printf.printf "%s:\n" uri;
+            print_endline (Mdh_analysis.Diagnostic.render ~file:uri ds)
+          end)
+        targets;
+      Printf.printf "checked %d target(s): %d error(s), %d warning(s), %d hint(s)\n"
+        (List.length targets)
+        (Mdh_analysis.Diagnostic.error_count all)
+        (Mdh_analysis.Diagnostic.warning_count all)
+        (Mdh_analysis.Diagnostic.hint_count all)
+    end;
+    if metrics then begin
+      let summary = Mdh_obs.Metrics.summary () in
+      if summary <> "" then print_string summary
+    end;
+    exit (Mdh_analysis.Diagnostic.exit_code ~strict all)
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ workload_opt_arg $ file_arg $ params_arg $ json_arg
+      $ strict_arg $ metrics_arg)
+
 let () =
   let doc = "MDH directive compiler driver (paper reproduction)" in
-  let info = Cmd.info "mdhc" ~version:"1.1.0" ~doc in
+  let info = Cmd.info "mdhc" ~version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; devices_cmd; show_cmd; tune_cmd; compare_cmd; run_cmd;
-            compile_cmd; codegen_cmd ]))
+            compile_cmd; codegen_cmd; check_cmd ]))

@@ -1,0 +1,52 @@
+(** The multi-pass static analyzer behind [mdhc check].
+
+    Where [Mdh_directive.Validate] is fail-fast — the first violation wins,
+    which is what [Transform.to_md_hom] needs — this module runs the same
+    checks as accumulating passes and keeps going, so one invocation reports
+    every problem it can see. The pass order mirrors [Validate.elaborate]'s
+    check order, which makes the first error-severity diagnostic agree with
+    [Validate.check]'s verdict (the suite's fuzz harness cross-checks this
+    on random directives):
+
+    + structure — perfect nest, loop variables, extents, combine_ops arity,
+      pw/ps mixing (MDH001–MDH005);
+    + declarations — duplicate buffers (MDH006);
+    + body — purity, assignment discipline, typing, one diagnostic per
+      offending statement (MDH007–MDH012);
+    + shapes and output views — run only on otherwise-clean directives,
+      mirroring the state in which [Validate] reaches them; the out-view
+      pass names every breaking dimension and exhibits a concrete pair of
+      colliding iteration points when an output access is not injective
+      (MDH013–MDH015);
+    + combine-operator verification ({!Opcheck}) — falsified declarations
+      are errors (MDH020–MDH022), operators that raise on samples are
+      warnings (MDH023), verified-but-undeclared properties are hints
+      (MDH112);
+    + semantic lints on the elaborated directive — unused inputs (MDH101),
+      schedule pre-checks shared with [Mdh_lowering.Schedule]
+      (MDH102/MDH103), degenerate extent-1 dimensions (MDH110), and
+      stride/locality interchange hints (MDH111).
+
+    When the directive came from the pragma frontend, pass the parser's
+    clause {!Mdh_pragma.Parser.spans} so diagnostics point at the offending
+    clause. *)
+
+val directive :
+  ?spans:Mdh_pragma.Parser.spans ->
+  ?verify_ops:bool ->
+  Mdh_directive.Directive.t ->
+  Diagnostic.t list
+(** Analyze a directive. [verify_ops] (default [true]) controls the
+    combine-operator property verification, which evaluates the operators'
+    customising functions a few hundred times. Diagnostics come back in
+    emission order; [Diagnostic.error_count] and friends summarise. *)
+
+val pragma :
+  ?name:string ->
+  ?params:(string * int) list ->
+  ?verify_ops:bool ->
+  string ->
+  Diagnostic.t list
+(** Analyze pragma source text: lexical errors are reported as MDH017 and
+    syntax errors as MDH016 (both carry the source span); otherwise the
+    parsed directive is analyzed with clause spans attached. *)

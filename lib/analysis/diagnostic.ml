@@ -1,0 +1,182 @@
+module Json = Mdh_obs.Json
+module Metrics = Mdh_obs.Metrics
+
+type severity = Error | Warning | Hint
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+type span = { line : int; col : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  span : span option;
+  subject : string option;
+  message : string;
+}
+
+(* Stable code registry. Append-only: a released code never changes its
+   meaning (test_analysis pins the table). MDH0xx are errors, MDH1xx
+   warnings, MDH12x/MDH11x-style advisory entries are hints. *)
+let code_table =
+  [ ("MDH001", Error, "loop nest is not perfect");
+    ("MDH002", Error, "loop variable bound twice");
+    ("MDH003", Error, "loop extent is not positive");
+    ("MDH004", Error, "combine_ops arity differs from the nest depth");
+    ("MDH005", Error, "pw and ps combine operators mixed in one computation");
+    ("MDH006", Error, "buffer declared twice");
+    ("MDH007", Error, "reference to an undeclared buffer");
+    ("MDH008", Error, "assignment to an input buffer");
+    ("MDH009", Error, "output buffer read in the body");
+    ("MDH010", Error, "output buffer assigned more than once per point");
+    ("MDH011", Error, "output buffer never assigned");
+    ("MDH012", Error, "expression does not type-check");
+    ("MDH013", Error, "buffer shape inconsistent with its accesses");
+    ("MDH014", Error, "non-affine access needs a declared shape");
+    ("MDH015", Error, "output access violates the out-view discipline");
+    ("MDH016", Error, "pragma syntax error");
+    ("MDH017", Error, "pragma lexical error");
+    ("MDH020", Error, "combine operator declared associative but is not");
+    ("MDH021", Error, "combine operator declared commutative but is not");
+    ("MDH022", Error, "declared identity element is not an identity");
+    ("MDH023", Warning, "combine operator raised on sample inputs");
+    ("MDH101", Warning, "input buffer is never read");
+    ("MDH102", Warning, "reduction dimension cannot be parallelised");
+    ("MDH103", Warning, "no dimension of the computation is parallelisable");
+    ("MDH110", Hint, "loop dimension has extent 1");
+    ("MDH111", Hint, "innermost loop is not the stride-1 dimension");
+    ("MDH112", Hint, "verified operator property is not declared") ]
+
+let describe_code code =
+  List.find_map
+    (fun (c, _, d) -> if String.equal c code then Some d else None)
+    code_table
+
+(* --- accumulation --- *)
+
+type buffer = t list ref
+
+let create () : buffer = ref []
+
+let c_errors = Metrics.counter "analysis.check.errors"
+let c_warnings = Metrics.counter "analysis.check.warnings"
+let c_hints = Metrics.counter "analysis.check.hints"
+
+let count_metric = function
+  | Error -> Metrics.incr c_errors
+  | Warning -> Metrics.incr c_warnings
+  | Hint -> Metrics.incr c_hints
+
+let emit (b : buffer) ?span ?subject severity code fmt =
+  Format.kasprintf
+    (fun message ->
+      count_metric severity;
+      b := { code; severity; span; subject; message } :: !b)
+    fmt
+
+let contents (b : buffer) = List.rev !b
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let error_count = count Error
+let warning_count = count Warning
+let hint_count = count Hint
+
+let exit_code ?(strict = false) ds =
+  if error_count ds > 0 then 1
+  else if strict && warning_count ds > 0 then 1
+  else 0
+
+(* --- rendering --- *)
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]" (severity_to_string d.severity) d.code;
+  (match d.span with
+  | Some { line; col } -> Format.fprintf ppf " at %d:%d" line col
+  | None -> ());
+  (match d.subject with
+  | Some s -> Format.fprintf ppf " (%s)" s
+  | None -> ());
+  Format.fprintf ppf ": %s" d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let render ?file ds =
+  let line d =
+    match (file, d.span) with
+    | Some f, Some { line; col } ->
+      Printf.sprintf "%s:%d:%d: %s[%s]: %s" f line col
+        (severity_to_string d.severity) d.code d.message
+    | _ -> to_string d
+  in
+  String.concat "\n" (List.map line ds)
+
+(* --- SARIF (2.1.0) --- *)
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "note"
+
+let sarif ~tool_version targets =
+  let rules =
+    Json.arr
+      (List.map
+         (fun (code, sev, descr) ->
+           Json.obj
+             [ ("id", Json.quote code);
+               ("shortDescription", Json.obj [ ("text", Json.quote descr) ]);
+               ( "defaultConfiguration",
+                 Json.obj [ ("level", Json.quote (sarif_level sev)) ] ) ])
+         code_table)
+  in
+  let result uri d =
+    let location =
+      let physical =
+        ("artifactLocation", Json.obj [ ("uri", Json.quote uri) ])
+        ::
+        (match d.span with
+        | Some { line; col } ->
+          [ ( "region",
+              Json.obj
+                [ ("startLine", string_of_int line);
+                  ("startColumn", string_of_int col) ] ) ]
+        | None -> [])
+      in
+      Json.obj [ ("physicalLocation", Json.obj physical) ]
+    in
+    Json.obj
+      ([ ("ruleId", Json.quote d.code);
+         ("level", Json.quote (sarif_level d.severity));
+         ("message", Json.obj [ ("text", Json.quote d.message) ]);
+         ("locations", Json.arr [ location ]) ]
+      @
+      match d.subject with
+      | Some s ->
+        [ ("properties", Json.obj [ ("subject", Json.quote s) ]) ]
+      | None -> [])
+  in
+  let results =
+    Json.arr
+      (List.concat_map (fun (uri, ds) -> List.map (result uri) ds) targets)
+  in
+  let run =
+    Json.obj
+      [ ( "tool",
+          Json.obj
+            [ ( "driver",
+                Json.obj
+                  [ ("name", Json.quote "mdhc");
+                    ("version", Json.quote tool_version);
+                    ("rules", rules) ] ) ] );
+        ("results", results) ]
+  in
+  Json.obj
+    [ ("version", Json.quote "2.1.0");
+      ( "$schema",
+        Json.quote
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ("runs", Json.arr [ run ]) ]

@@ -1,0 +1,183 @@
+module Scalar = Mdh_tensor.Scalar
+module Combine = Mdh_combine.Combine
+module Rng = Mdh_support.Rng
+module Metrics = Mdh_obs.Metrics
+
+type outcome =
+  | Verified of int
+  | Counterexample of string
+  | Untestable of string
+
+type report = {
+  op_name : string;
+  evaluations : int;
+  associativity : outcome;
+  commutativity : outcome;
+  identity : outcome option;
+}
+
+let c_evaluations = Metrics.counter "analysis.opcheck.evaluations"
+let c_operators = Metrics.counter "analysis.opcheck.operators"
+
+(* --- sample domains ---
+
+   Exactness matters: comparisons are Scalar.equal (bit-exact), so every
+   sample is chosen such that the builtin arithmetic stays exact over
+   triple-deep combinations — small integers, and dyadic rationals with
+   magnitude << 2^20 for floats (sums and products of three remain
+   exactly representable even in fp32). *)
+
+let dedup vs =
+  List.fold_left
+    (fun acc v -> if List.exists (Scalar.equal v) acc then acc else acc @ [ v ])
+    [] vs
+
+let rec samples ?(seed = 42) ty =
+  let rng = Rng.create seed in
+  let ints mk =
+    List.map mk [ -2; -1; 0; 1; 2 ]
+    @ List.init 3 (fun _ -> mk (Rng.int_in rng (-40) 40))
+  in
+  let floats mk =
+    List.map mk [ -2.0; -1.0; -0.5; 0.0; 0.5; 1.0; 2.5 ]
+    @ List.init 3 (fun _ -> mk (float_of_int (Rng.int_in rng (-8) 8) /. 4.0))
+  in
+  let base =
+    match ty with
+    | Scalar.Int32 -> ints Scalar.i32
+    | Scalar.Int64 -> ints Scalar.i64
+    | Scalar.Fp32 -> floats Scalar.f32
+    | Scalar.Fp64 -> floats Scalar.f64
+    | Scalar.Bool -> [ Scalar.B false; Scalar.B true ]
+    | Scalar.Char -> [ Scalar.C '\000'; Scalar.C 'a'; Scalar.C 'z' ]
+    | Scalar.Record fields ->
+      (* field-wise: record i picks the (i * (field_index + 1))-th sample
+         of each field, cycling — deterministic and diverse *)
+      let per_field =
+        List.map (fun (name, fty) -> (name, samples ~seed:(seed + 1) fty)) fields
+      in
+      List.init 6 (fun i ->
+          Scalar.R
+            (List.mapi
+               (fun fi (name, vs) ->
+                 (name, List.nth vs (i * (fi + 1) mod List.length vs)))
+               per_field))
+  in
+  dedup base
+
+(* --- property checks --- *)
+
+exception Op_raised of string
+
+let check_property apply_counted pairs_or_triples check render =
+  (* first falsifying tuple wins; Untestable if the operator raises *)
+  let rec go n = function
+    | [] -> Verified n
+    | tup :: rest -> (
+      match check tup with
+      | true -> go (n + 1) rest
+      | false -> Counterexample (render tup)
+      | exception Op_raised msg -> Untestable msg)
+  in
+  ignore apply_counted;
+  go 0 pairs_or_triples
+
+let take n xs =
+  let rec go n = function
+    | x :: rest when n > 0 -> x :: go (n - 1) rest
+    | _ -> []
+  in
+  go n xs
+
+let verify ?(seed = 42) ~ty (fn : Combine.custom_fn) =
+  Metrics.incr c_operators;
+  let vs = samples ~seed ty in
+  let n_evals = ref 0 in
+  let apply a b =
+    incr n_evals;
+    try fn.Combine.apply a b
+    with e ->
+      raise
+        (Op_raised
+           (Printf.sprintf "%s applied to %s and %s raised: %s" fn.Combine.fn_name
+              (Scalar.value_to_string a) (Scalar.value_to_string b)
+              (Printexc.to_string e)))
+  in
+  let s = Scalar.value_to_string in
+  (* associativity: exhaustive over a small head of the domain, plus
+     seeded random triples over the full domain *)
+  let head = take 6 vs in
+  let exhaustive_triples =
+    List.concat_map
+      (fun a -> List.concat_map (fun b -> List.map (fun c -> (a, b, c)) head) head)
+      head
+  in
+  let rng = Rng.create (seed + 7) in
+  let pick () = List.nth vs (Rng.int rng (List.length vs)) in
+  let random_triples = List.init 30 (fun _ -> (pick (), pick (), pick ())) in
+  let associativity =
+    check_property apply
+      (exhaustive_triples @ random_triples)
+      (fun (a, b, c) -> Scalar.equal (apply (apply a b) c) (apply a (apply b c)))
+      (fun (a, b, c) ->
+        Printf.sprintf "(%s %s %s) %s %s <> %s %s (%s %s %s) with a=%s b=%s c=%s"
+          (s a) fn.Combine.fn_name (s b) fn.Combine.fn_name (s c) (s a)
+          fn.Combine.fn_name (s b) fn.Combine.fn_name (s c) (s a) (s b) (s c))
+  in
+  let pairs = List.concat_map (fun a -> List.map (fun b -> (a, b)) vs) vs in
+  let commutativity =
+    check_property apply pairs
+      (fun (a, b) -> Scalar.equal (apply a b) (apply b a))
+      (fun (a, b) ->
+        Printf.sprintf "%s %s %s <> %s %s %s" (s a) fn.Combine.fn_name (s b) (s b)
+          fn.Combine.fn_name (s a))
+  in
+  let identity =
+    match fn.Combine.identity with
+    | None -> None
+    | Some e ->
+      Some
+        (check_property apply vs
+           (fun v -> Scalar.equal (apply e v) v && Scalar.equal (apply v e) v)
+           (fun v ->
+             Printf.sprintf "declared identity %s does not fix %s" (s e) (s v)))
+  in
+  Metrics.add c_evaluations !n_evals;
+  { op_name = fn.Combine.fn_name; evaluations = !n_evals; associativity;
+    commutativity; identity }
+
+(* --- interpreting a report against the declaration --- *)
+
+let falsified = function Counterexample w -> Some w | Verified _ | Untestable _ -> None
+
+let violations (fn : Combine.custom_fn) report =
+  List.filter_map
+    (fun (declared, property, outcome) ->
+      if declared then
+        Option.map (fun w -> (property, w)) (falsified outcome)
+      else None)
+    [ (fn.Combine.associative, "associativity", report.associativity);
+      (fn.Combine.commutative, "commutativity", report.commutativity);
+      ( fn.Combine.identity <> None,
+        "identity",
+        Option.value report.identity ~default:(Verified 0) ) ]
+
+let unexploited (fn : Combine.custom_fn) report =
+  List.filter_map
+    (fun (declared, property, outcome) ->
+      match outcome with
+      | Verified _ when not declared -> Some property
+      | _ -> None)
+    [ (fn.Combine.associative, "associativity", report.associativity);
+      (fn.Combine.commutative, "commutativity", report.commutativity) ]
+
+let demote (fn : Combine.custom_fn) report =
+  let bad outcome = falsified outcome <> None in
+  Combine.with_declared
+    ?associative:(if bad report.associativity then Some false else None)
+    ?commutative:(if bad report.commutativity then Some false else None)
+    ?identity:
+      (match report.identity with
+      | Some o when bad o -> Some None
+      | _ -> None)
+    fn

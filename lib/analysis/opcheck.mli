@@ -1,0 +1,61 @@
+(** Combine-operator property verification.
+
+    Customising functions ({!Mdh_combine.Combine.custom_fn}) carry
+    author-declared algebraic metadata — [associative], [commutative],
+    [identity] — and the lowering trusts it: a mis-declared associative
+    flag silently legalises parallel schedules the MDH decomposition does
+    not permit. This module machine-checks the declarations by
+    bounded-exhaustive evaluation over a small, exactly-representable
+    scalar domain plus seeded randomized samples.
+
+    Domains are chosen so that the arithmetic of the builtin operators is
+    exact (small integers; dyadic-rational floats), which makes the check
+    decide the {e algebraic} property of the declared operator rather
+    than floating-point rounding behaviour: [add] on fp32 is
+    associative as an algebraic declaration even though large-magnitude
+    fp32 addition rounds. See docs/DIAGNOSTICS.md.
+
+    Verification is deterministic for a given [seed] and counts its
+    operator applications on the [analysis.opcheck.evaluations] metrics
+    counter. *)
+
+module Scalar = Mdh_tensor.Scalar
+module Combine = Mdh_combine.Combine
+
+type outcome =
+  | Verified of int  (** held on this many checks *)
+  | Counterexample of string  (** rendered witness, e.g. [(a op b) op c <> a op (b op c)] *)
+  | Untestable of string  (** the operator raised; the message names the inputs *)
+
+type report = {
+  op_name : string;
+  evaluations : int;  (** operator applications performed *)
+  associativity : outcome;
+  commutativity : outcome;
+  identity : outcome option;  (** [None] when no identity is declared *)
+}
+
+val samples : ?seed:int -> Scalar.ty -> Scalar.value list
+(** The verification domain for a type: a bounded-exhaustive base set
+    plus a few seeded random values; record samples are built field-wise.
+    All values are exactly representable. *)
+
+val verify : ?seed:int -> ty:Scalar.ty -> Combine.custom_fn -> report
+(** Check all three properties on [samples ty], regardless of what is
+    declared ({!violations} / {!unexploited} interpret the result against
+    the declaration). [ty] is the element type the operator combines —
+    for a directive, the output buffer's type. *)
+
+val violations : Combine.custom_fn -> report -> (string * string) list
+(** Declared properties that were falsified: [(property, witness)] pairs
+    — the operator author's metadata is wrong and the operator must be
+    fixed or demoted. *)
+
+val unexploited : Combine.custom_fn -> report -> string list
+(** Properties that held on every sample but are not declared — the
+    declaration is sound but leaves parallelisation on the table. *)
+
+val demote : Combine.custom_fn -> report -> Combine.custom_fn
+(** Clear every falsified declaration (associative/commutative flags,
+    identity), producing an operator the lowering treats conservatively
+    but correctly. *)

@@ -61,6 +61,12 @@ let min _ty = builtin "min" None Scalar.min_v
 let custom ~name ?(associative = true) ?(commutative = false) ?identity apply =
   { fn_name = name; apply; associative; commutative; identity; builtin = false }
 
+let with_declared ?associative ?commutative ?identity fn =
+  { fn with
+    associative = Option.value associative ~default:fn.associative;
+    commutative = Option.value commutative ~default:fn.commutative;
+    identity = Option.value identity ~default:fn.identity }
+
 let combine_partials t ~dim lhs rhs =
   let rank = Shape.rank (Dense.shape lhs) in
   if dim < 0 || dim >= rank then invalid_arg "Combine.combine_partials: bad dimension";

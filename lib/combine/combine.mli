@@ -81,6 +81,17 @@ val custom :
     [prl_max] in Listing 11). [associative] defaults to [true],
     [commutative] to [false]. *)
 
+val with_declared :
+  ?associative:bool ->
+  ?commutative:bool ->
+  ?identity:Mdh_tensor.Scalar.value option ->
+  custom_fn ->
+  custom_fn
+(** Override parts of an operator's declared algebraic metadata, keeping the
+    implementation. Used by the property verifier to demote operators whose
+    declarations were falsified ([~identity:None] withdraws a declared
+    identity). Omitted arguments keep the current declaration. *)
+
 val combine_partials : t -> dim:int -> Mdh_tensor.Dense.t -> Mdh_tensor.Dense.t -> Mdh_tensor.Dense.t
 (** [combine_partials op ~dim lhs rhs] recombines two partial-result tensors
     along [dim], implementing Appendix A's operator semantics: [Cc]

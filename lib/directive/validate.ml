@@ -377,3 +377,31 @@ let elaborate (dir : Directive.t) =
        el_outs = outs; el_inps = inps }
 
 let run dir = Result.map ignore (elaborate dir)
+let check = run
+
+(* Stable diagnostic codes, shared with Mdh_analysis.Diagnostic.code_table —
+   both sides are pinned by tests, so a mismatch fails the suite. *)
+let error_code = function
+  | Imperfect_nest -> "MDH001"
+  | Duplicate_loop_var _ -> "MDH002"
+  | Nonpositive_extent _ -> "MDH003"
+  | Combine_op_arity _ -> "MDH004"
+  | Mixed_reduction_kinds -> "MDH005"
+  | Duplicate_buffer _ -> "MDH006"
+  | Unknown_buffer _ -> "MDH007"
+  | Assign_to_input _ -> "MDH008"
+  | Read_of_output _ -> "MDH009"
+  | Multiple_assignment _ -> "MDH010"
+  | Missing_assignment _ -> "MDH011"
+  | Type_error _ -> "MDH012"
+  | Shape_error _ -> "MDH013"
+  | Opaque_access_needs_shape _ -> "MDH014"
+  | Invalid_out_view _ -> "MDH015"
+
+let error_subject = function
+  | Imperfect_nest | Mixed_reduction_kinds | Combine_op_arity _
+  | Type_error _ | Shape_error _ | Invalid_out_view _ -> None
+  | Duplicate_loop_var s | Nonpositive_extent s | Duplicate_buffer s
+  | Unknown_buffer s | Assign_to_input s | Read_of_output s
+  | Multiple_assignment s | Missing_assignment s
+  | Opaque_access_needs_shape s -> Some s

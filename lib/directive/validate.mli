@@ -80,3 +80,16 @@ val elaborate : Directive.t -> (elab, error) result
     the list above) wins. *)
 
 val run : Directive.t -> (unit, error) result
+
+val check : Directive.t -> (unit, error) result
+(** Alias of {!run}; the fail-fast counterpart of the accumulating analyzer
+    in [Mdh_analysis] — a directive passes [check] iff the analyzer reports
+    no error-severity diagnostic for codes MDH001–MDH015. *)
+
+val error_code : error_kind -> string
+(** The stable diagnostic code ([MDH001]..[MDH015]) for an error kind, as
+    listed in [Mdh_analysis.Diagnostic.code_table] and docs/DIAGNOSTICS.md. *)
+
+val error_subject : error_kind -> string option
+(** The buffer or loop-variable name the error is about, when it carries
+    one. *)

@@ -11,6 +11,19 @@ type t = {
 let sequential (md : Md_hom.t) =
   { tile_sizes = Array.copy md.sizes; parallel_dims = []; used_layers = [] }
 
+let unparallelisable combine_ops =
+  Array.to_list combine_ops
+  |> List.mapi (fun d op -> (d, op))
+  |> List.filter_map (fun (d, op) ->
+         if Combine.parallelisable op then None
+         else
+           Some
+             ( d,
+               Printf.sprintf
+                 "dimension %d is combined with %s, whose customising function is \
+                  not associative: it cannot be parallelised"
+                 d (Combine.name op) ))
+
 let legal (md : Md_hom.t) (dev : Device.t) t =
   let rank = Md_hom.rank md in
   if Array.length t.tile_sizes <> rank then
@@ -27,19 +40,11 @@ let legal (md : Md_hom.t) (dev : Device.t) t =
     List.exists (fun l -> l < 0 || l >= Array.length dev.Device.layers) t.used_layers
   then Error "device layer out of range"
   else begin
-    let bad_reduction =
-      List.find_opt
-        (fun d -> not (Combine.parallelisable md.combine_ops.(d)))
-        t.parallel_dims
-    in
-    match bad_reduction with
-    | Some d ->
-      Error
-        (Printf.sprintf
-           "dimension %d is combined with %s, whose customising function is not \
-            associative: it cannot be parallelised"
-           d
-           (Combine.name md.combine_ops.(d)))
+    let blocked = unparallelisable md.combine_ops in
+    match
+      List.find_map (fun d -> List.assoc_opt d blocked) t.parallel_dims
+    with
+    | Some message -> Error message
     | None -> Ok ()
   end
 

@@ -25,6 +25,13 @@ type t = {
 val sequential : Mdh_core.Md_hom.t -> t
 (** No tiling (whole extents), no parallel dims. *)
 
+val unparallelisable : Mdh_combine.Combine.t array -> (int * string) list
+(** The dimensions no legal schedule may parallelise — reduction dimensions
+    whose customising function is not (declared) associative — with the
+    explanatory message {!legal} would produce. Shared with the static
+    analyzer's schedule pre-check ([MDH102]), so [mdhc check] predicts
+    exactly what the lowering will later reject. *)
+
 val legal :
   Mdh_core.Md_hom.t -> Mdh_machine.Device.t -> t -> (unit, string) result
 (** Checks arity, tile positivity, layer indices, and reduction-dimension

@@ -12,11 +12,25 @@ let error_to_string e = Format.asprintf "%a" pp_error e
 
 exception Fail of error
 
+type spans = {
+  pragma_pos : Token.pos;
+  buffer_pos : (string * Token.pos) list;
+  combine_op_pos : Token.pos list;
+  loop_pos : (string * Token.pos) list;
+  stmt_pos : Token.pos list;
+}
+
 type state = {
   mutable tokens : Token.spanned list;
   params : (string * int) list;
   mutable buffers : D.buffer_decl list;  (** outs @ inps once the pragma is read *)
   mutable float_ty : Scalar.ty;  (** type given to float literals *)
+  (* span accumulators, reverse order; harvested by [parse_with_spans] *)
+  mutable rec_pragma : Token.pos;
+  mutable rec_buffers : (string * Token.pos) list;
+  mutable rec_ops : Token.pos list;
+  mutable rec_loops : (string * Token.pos) list;
+  mutable rec_stmts : Token.pos list;
 }
 
 let fail_at pos fmt =
@@ -60,7 +74,9 @@ let scalar_ty_of_name pos = function
   | other -> fail_at pos "unknown basic type %S" other
 
 let parse_buffer_decl st =
+  let decl_pos = here st in
   let name = expect_ident st "a buffer name" in
+  st.rec_buffers <- (name, decl_pos) :: st.rec_buffers;
   expect st Token.Colon;
   let ty_pos = here st in
   let ty = scalar_ty_of_name ty_pos (expect_ident st "a basic type") in
@@ -116,6 +132,7 @@ let builtin_custom_fn pos ty = function
 
 let parse_combine_op st ~elem_ty =
   let pos = here st in
+  st.rec_ops <- pos :: st.rec_ops;
   match expect_ident st "a combine operator" with
   | "cc" -> Combine.cc
   | ("pw" | "ps") as kind ->
@@ -137,6 +154,7 @@ let base_scalar_ty decls =
   else Scalar.Fp64
 
 let parse_pragma st =
+  st.rec_pragma <- here st;
   expect st Token.Pragma_mdh;
   let outs = ref None and inps = ref None and ops = ref None in
   let rec clauses () =
@@ -387,6 +405,7 @@ let parse_loop_bound st =
   | other -> fail_at pos "expected a loop bound, found %s" (Token.describe other)
 
 let parse_stmt st ~loop_vars ~lets =
+  st.rec_stmts <- here st :: st.rec_stmts;
   match peek st with
   | Token.Kw_let ->
     advance st;
@@ -409,9 +428,11 @@ let parse_stmt st ~loop_vars ~lets =
 let rec parse_nest st ~loop_vars =
   match peek st with
   | Token.Kw_for ->
+    let for_pos = here st in
     advance st;
     expect st Token.Lparen;
     let var = expect_ident st "a loop variable" in
+    st.rec_loops <- (var, for_pos) :: st.rec_loops;
     expect st Token.Assign;
     (match peek st with
     | Token.Int_lit 0 -> advance st
@@ -468,14 +489,28 @@ and parse_body st ~loop_vars =
     let stmt, _ = parse_stmt st ~loop_vars ~lets:[] in
     D.body [ stmt ]
 
-let parse ?(name = "pragma_mdh") ?(params = []) src =
+let parse_with_spans ?(name = "pragma_mdh") ?(params = []) src =
   match Lexer.tokenize src with
   | Error { Lexer.pos; message } -> Error { pos; message }
   | Ok tokens -> (
-    let st = { tokens; params; buffers = []; float_ty = Scalar.Fp64 } in
+    let st =
+      { tokens; params; buffers = []; float_ty = Scalar.Fp64;
+        rec_pragma = { Token.line = 1; col = 1 }; rec_buffers = [];
+        rec_ops = []; rec_loops = []; rec_stmts = [] }
+    in
     try
       let outs, inps, ops = parse_pragma st in
       let nest = parse_nest st ~loop_vars:[] in
       expect st Token.Eof;
-      Ok (D.make ~name ~out:outs ~inp:inps ~combine_ops:ops nest)
+      let spans =
+        { pragma_pos = st.rec_pragma;
+          buffer_pos = List.rev st.rec_buffers;
+          combine_op_pos = List.rev st.rec_ops;
+          loop_pos = List.rev st.rec_loops;
+          stmt_pos = List.rev st.rec_stmts }
+      in
+      Ok (D.make ~name ~out:outs ~inp:inps ~combine_ops:ops nest, spans)
     with Fail e -> Error e)
+
+let parse ?name ?params src =
+  Result.map fst (parse_with_spans ?name ?params src)

@@ -33,9 +33,29 @@ type error = { pos : Token.pos; message : string }
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+type spans = {
+  pragma_pos : Token.pos;  (** position of [#pragma mdh] *)
+  buffer_pos : (string * Token.pos) list;
+      (** each buffer declaration, in declaration order (outs then inps) *)
+  combine_op_pos : Token.pos list;  (** the i-th combine operator's clause *)
+  loop_pos : (string * Token.pos) list;
+      (** each [for] keyword, keyed by its loop variable, outermost first *)
+  stmt_pos : Token.pos list;  (** body statements in source order *)
+}
+(** Source positions of the directive's clauses, recorded during parsing so
+    the static analyzer ([Mdh_analysis]) can point diagnostics at the
+    offending clause rather than at the whole pragma. *)
+
 val parse :
   ?name:string ->
   ?params:(string * int) list ->
   string ->
   (Mdh_directive.Directive.t, error) result
 (** [name] is the directive name (default ["pragma_mdh"]). *)
+
+val parse_with_spans :
+  ?name:string ->
+  ?params:(string * int) list ->
+  string ->
+  (Mdh_directive.Directive.t * spans, error) result
+(** Like {!parse}, also returning the clause positions. *)

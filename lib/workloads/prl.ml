@@ -21,9 +21,13 @@ let match_record_ty =
     [ ("match_id", Scalar.Int64); ("match_weight", Scalar.Fp64);
       ("id_measure", Scalar.Int32) ]
 
-(* strict total order: weight, then certainty, then lower id — associative *)
+(* selection of the maximum under a strict total order: weight, then
+   certainty, then lower id. Every record field participates in the order, so
+   a tie means the operands are equal — the selection is associative AND
+   commutative (the property verifier in Mdh_analysis.Opcheck confirms both) *)
 let prl_best =
-  Combine.custom ~name:"prl_best" ~associative:true (fun lhs rhs ->
+  Combine.custom ~name:"prl_best" ~associative:true ~commutative:true
+    (fun lhs rhs ->
       let w v = Scalar.to_float (Scalar.field v "match_weight") in
       let m v = Scalar.to_int (Scalar.field v "id_measure") in
       let id v = Scalar.to_int (Scalar.field v "match_id") in

@@ -15,10 +15,10 @@
       implementation returns one record-typed buffer with the same three
       fields, which is the same object without the flattening.
     - [prl_best], the customising function, selects the better match by
-      (weight, certainty measure, lower id) — a strict total order, hence
-      associative but *not* commutative-insensitive to order of unequal
-      keys, and crucially not expressible as an OpenMP/OpenACC [reduction]
-      clause or a TVM [comm_reducer]: the capability gap Section 5.2's PRL
+      (weight, certainty measure, lower id) — a strict total order over all
+      record fields, hence associative and commutative — but crucially not
+      expressible as an OpenMP/OpenACC [reduction] clause (those only know
+      builtin scalar operators): the capability gap Section 5.2's PRL
       discussion rests on. *)
 
 val match_record_ty : Mdh_tensor.Scalar.ty

@@ -34,4 +34,14 @@ fi
 dune build
 dune runtest
 
+# static analysis gate: the catalogue and the example pragmas must stay free
+# of error- and warning-severity diagnostics (hints are allowed)
+dune exec bin/mdhc.exe -- check --strict > /dev/null
+dune exec bin/mdhc.exe -- check --strict --file examples/matvec.mdh \
+    -P I=16 -P K=16 > /dev/null
+dune exec bin/mdhc.exe -- check --strict --file examples/mbbs.mdh \
+    -P I=16 -P J=16 > /dev/null
+dune exec bin/mdhc.exe -- check --strict --file examples/mcc.mdh \
+    -P N=1 -P P=112 -P Q=112 -P K=64 -P R=7 -P S=7 -P C=3 > /dev/null
+
 echo "check.sh: OK"

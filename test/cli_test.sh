@@ -59,4 +59,36 @@ grep -q '^best schedule:' "$tmp/plain.cmp" || fail "no schedule line to compare"
 "$MDHC" run dot --metrics >"$tmp/run.txt" 2>&1 || fail "run --metrics exited non-zero"
 grep -q 'result check: OK' "$tmp/run.txt" || fail "run result check failed"
 
+# --- mdhc check: the static diagnostics engine ---
+
+# this PR's version
+grep -q '^1\.2\.0' "$tmp/version.txt" || fail "--version is not 1.2.0"
+
+# a clean catalogue workload checks out with exit 0
+"$MDHC" check matmul >"$tmp/check_ok.txt" 2>&1 || fail "check matmul exited non-zero"
+grep -q 'checked 1 target' "$tmp/check_ok.txt" || fail "check printed no summary"
+
+# a broken pragma yields exit 1 and at least two distinct diagnostic codes,
+# each anchored to a source position, in a single invocation
+if "$MDHC" check --file fixtures/broken.mdh >"$tmp/check_bad.txt" 2>&1; then
+  fail "check on broken.mdh exited 0"
+fi
+codes=$(grep -oE 'MDH[0-9]+' "$tmp/check_bad.txt" | sort -u | wc -l)
+[ "$codes" -ge 2 ] || fail "check on broken.mdh reported fewer than 2 distinct codes"
+grep -Eq ':[0-9]+:[0-9]+: error\[MDH' "$tmp/check_bad.txt" ||
+  fail "check diagnostics carry no source positions"
+
+# warnings gate the exit code only under --strict; hints never do
+"$MDHC" check --file fixtures/warn.mdh >"$tmp/check_warn.txt" 2>&1 ||
+  fail "warning-only check exited non-zero without --strict"
+grep -q 'warning\[MDH101\]' "$tmp/check_warn.txt" || fail "unused-input warning missing"
+if "$MDHC" check --strict --file fixtures/warn.mdh >/dev/null 2>&1; then
+  fail "check --strict ignored a warning"
+fi
+
+# --json emits SARIF with rule identifiers
+"$MDHC" check --json --file fixtures/broken.mdh >"$tmp/check.sarif" 2>&1 || true
+grep -q '"ruleId"' "$tmp/check.sarif" || fail "check --json emitted no ruleId"
+grep -q '"version":"2.1.0"' "$tmp/check.sarif" || fail "check --json is not SARIF 2.1.0"
+
 echo "cli_test: all checks passed"

@@ -169,6 +169,54 @@ let prop_identity_laws =
             Scalar.equal (f.apply e v) v && Scalar.equal (f.apply v e) v)
         [ Combine.add Scalar.Int64; Combine.mul Scalar.Int64 ])
 
+(* Catalogue audit pin: every custom combine operator shipped in the workload
+   catalogue must survive property verification with zero violations — the
+   declared associativity/commutativity/identity flags are never falsified by
+   the exhaustive+randomised evaluation in Mdh_analysis.Opcheck. *)
+let test_catalogue_ops_verified () =
+  let module Validate = Mdh_directive.Validate in
+  let module Opcheck = Mdh_analysis.Opcheck in
+  List.iter
+    (fun (w : Mdh_workloads.Workload.t) ->
+      let dir = w.make w.test_params in
+      match Validate.elaborate dir with
+      | Error e ->
+        Alcotest.failf "catalogue workload %s no longer validates: %s" w.wl_name
+          (Validate.error_to_string e)
+      | Ok elab ->
+        let ty =
+          match elab.Validate.el_outs with
+          | o :: _ -> o.Validate.eo_ty
+          | [] -> Scalar.Fp32
+        in
+        Array.iter
+          (fun op ->
+            match op with
+            | Combine.Cc -> ()
+            | Combine.Pw fn | Combine.Ps fn ->
+              let report = Opcheck.verify ~ty fn in
+              (match Opcheck.violations fn report with
+               | [] -> ()
+               | (prop, witness) :: _ ->
+                 Alcotest.failf "catalogue op %s (%s) mis-declares %s: %s"
+                   fn.Combine.fn_name w.wl_name prop witness))
+          elab.Validate.el_combine_ops)
+    Mdh_workloads.Catalog.all
+
+(* prl_best is declared fully associative+commutative (total order over all
+   record fields); the verifier must confirm both, not merely fail to refute *)
+let test_prl_best_verified () =
+  let module Opcheck = Mdh_analysis.Opcheck in
+  let fn = Mdh_workloads.Prl.prl_best in
+  check Alcotest.bool "declared associative" true fn.Combine.associative;
+  check Alcotest.bool "declared commutative" true fn.Combine.commutative;
+  let report = Opcheck.verify ~ty:Mdh_workloads.Prl.match_record_ty fn in
+  let verified = function Opcheck.Verified _ -> true | _ -> false in
+  check Alcotest.bool "associativity verified" true (verified report.Opcheck.associativity);
+  check Alcotest.bool "commutativity verified" true (verified report.Opcheck.commutativity);
+  check Alcotest.(list (pair string string)) "no violations" []
+    (Opcheck.violations fn report)
+
 let suite =
   let tc = Alcotest.test_case in
   ( "combine",
@@ -182,6 +230,8 @@ let suite =
       tc "pw requires collapsed" `Quick test_combine_pw_requires_collapsed;
       tc "combine ps" `Quick test_combine_ps;
       tc "combine ps 2d" `Quick test_combine_ps_2d;
+      tc "catalogue ops verified" `Quick test_catalogue_ops_verified;
+      tc "prl_best verified" `Quick test_prl_best_verified;
       QCheck_alcotest.to_alcotest prop_pw_split;
       QCheck_alcotest.to_alcotest prop_ps_split;
       QCheck_alcotest.to_alcotest prop_cc_assoc;

@@ -224,6 +224,28 @@ let prop_validation_total =
     (fun (_, sample) ->
       match Mdh_directive.Validate.run sample.dir with Ok () | Error _ -> true)
 
+let prop_analyzer_agrees_with_validate =
+  (* the accumulating analyzer and the fail-fast validator must agree:
+     an analysis without error-severity diagnostics means Validate.check
+     passes, and a Validate failure means the analyzer reports it — with
+     the validator's own code first (generator operators are honestly
+     declared builtins, so operator verification cannot diverge) *)
+  QCheck2.Test.make ~name:"fuzz: analyzer agrees with Validate.check" ~count:300
+    qcheck_sample
+    (fun (_, sample) ->
+      let module Diag = Mdh_analysis.Diagnostic in
+      let ds = Mdh_analysis.Analyze.directive sample.dir in
+      let first_error =
+        List.find_opt (fun d -> d.Diag.severity = Diag.Error) ds
+      in
+      match (Mdh_directive.Validate.check sample.dir, first_error) with
+      | Ok (), None -> true
+      | Ok (), Some _ -> false
+      | Error _, None -> false
+      | Error e, Some d ->
+        String.equal (Mdh_directive.Validate.error_code e.Mdh_directive.Validate.kind)
+          d.Diag.code)
+
 (* --- record-typed computations with a custom combine operator (the PRL
    shape): two int32 fields, reduced with an associative lexicographic-max
    operator --- *)
@@ -310,6 +332,7 @@ let prop_record_codegen =
 let suite =
   ( "fuzz",
     [ QCheck_alcotest.to_alcotest prop_validation_total;
+      QCheck_alcotest.to_alcotest prop_analyzer_agrees_with_validate;
       QCheck_alcotest.to_alcotest prop_cross_evaluator;
       QCheck_alcotest.to_alcotest prop_simulation_matches;
       QCheck_alcotest.to_alcotest prop_parallel_exec_matches;

@@ -17,4 +17,5 @@ let () =
       Test_fuzz.suite;
       Test_model_props.suite;
       Test_reports.suite;
-      Test_obs.suite ]
+      Test_obs.suite;
+      Test_analysis.suite ]

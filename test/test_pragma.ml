@@ -312,6 +312,47 @@ for (n = 0; n < N; n++)
        (Buffer.data (Buffer.env_find got "res"))
        (Buffer.data (Buffer.env_find expected "res")))
 
+(* --- diagnostics: golden error text and clause spans --- *)
+
+(* Golden pin: the exact rendered diagnostic (including source position) for
+   a fixed bad pragma. Mdh_analysis embeds this text in MDH016 diagnostics,
+   so the wording and the position format are part of the tool's surface. *)
+let test_golden_bad_pragma_diagnostic () =
+  let src =
+    {|
+#pragma mdh out(w : fp32) inp(v : fp32) combine_ops(cc, pw(bogus))
+for (i = 0; i < 4; i++)
+  w[i] = v[i];
+|}
+  in
+  let e = parse_err src in
+  check Alcotest.string "golden diagnostic"
+    "parse error at line 2, column 60: unknown customising function \"bogus\" \
+     (the pragma frontend provides add, mul, min, max; user-defined operators \
+     need the embedded API)"
+    (Parser.error_to_string e)
+
+let test_parse_with_spans () =
+  match Parser.parse_with_spans ~params:[ ("I", 8); ("K", 6) ] matvec_src with
+  | Error e -> Alcotest.failf "unexpected parse error: %s" (Parser.error_to_string e)
+  | Ok (dir, spans) ->
+    let pos = Alcotest.pair Alcotest.int Alcotest.int in
+    let p (q : Token.pos) = (q.Token.line, q.Token.col) in
+    check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int)) "same directive"
+      [ ("i", 8); ("k", 6) ]
+      (D.loops dir);
+    check pos "pragma" (2, 1) (p spans.Parser.pragma_pos);
+    check (Alcotest.list (Alcotest.pair Alcotest.string pos)) "buffers"
+      [ ("w", (2, 17)); ("M", (2, 31)); ("v", (2, 41)) ]
+      (List.map (fun (n, q) -> (n, p q)) spans.Parser.buffer_pos);
+    check (Alcotest.list pos) "combine ops" [ (2, 63); (2, 67) ]
+      (List.map p spans.Parser.combine_op_pos);
+    check (Alcotest.list (Alcotest.pair Alcotest.string pos)) "loops"
+      [ ("i", (3, 1)); ("k", (4, 3)) ]
+      (List.map (fun (n, q) -> (n, p q)) spans.Parser.loop_pos);
+    check (Alcotest.list pos) "statements" [ (5, 5) ]
+      (List.map p spans.Parser.stmt_pos)
+
 let suite =
   let tc = Alcotest.test_case in
   ( "pragma",
@@ -341,4 +382,6 @@ let suite =
       tc "error: position" `Quick test_error_position_is_meaningful;
       QCheck_alcotest.to_alcotest prop_parser_total_on_noise;
       QCheck_alcotest.to_alcotest prop_parser_total_on_mutations;
-      tc "full MCC listing" `Quick test_full_mcc_listing ] )
+      tc "full MCC listing" `Quick test_full_mcc_listing;
+      tc "golden bad-pragma diagnostic" `Quick test_golden_bad_pragma_diagnostic;
+      tc "parse_with_spans clause positions" `Quick test_parse_with_spans ] )
