@@ -66,12 +66,15 @@ let rec extract_flags acc = function
 let setup_cache ~no_cache ~db_path =
   if no_cache then Mdh_atf.Cost_cache.set_enabled false
   else
-    let path =
+    let db =
       match db_path with
-      | Some path -> path
-      | None -> Mdh_atf.Tuning_db.default_path ()
+      | Some path -> Mdh_atf.Tuning_db.open_db path
+      | None -> (
+        match Mdh_atf.Tuning_db.default_path () with
+        | Some path -> Mdh_atf.Tuning_db.open_db path
+        | None -> Mdh_atf.Tuning_db.in_memory ())
     in
-    Mdh_atf.Tuning_db.set_ambient (Some (Mdh_atf.Tuning_db.open_db path))
+    Mdh_atf.Tuning_db.set_ambient (Some db)
 
 let print_tuning_stats elapsed =
   let cost = Mdh_atf.Cost_cache.stats () in
@@ -83,8 +86,9 @@ let print_tuning_stats elapsed =
   | Some db ->
     let stats = Mdh_atf.Tuning_db.stats db in
     Printf.printf "[tuning] db %s: %d/%d searches recalled (%d entries)\n"
-      (Mdh_atf.Tuning_db.path db) stats.Mdh_atf.Tuning_db.n_hits
-      stats.Mdh_atf.Tuning_db.n_lookups stats.Mdh_atf.Tuning_db.n_entries
+      (Option.value ~default:"(in-memory)" (Mdh_atf.Tuning_db.path db))
+      stats.Mdh_atf.Tuning_db.n_hits stats.Mdh_atf.Tuning_db.n_lookups
+      stats.Mdh_atf.Tuning_db.n_entries
 
 let print_workload_obs () =
   match Mdh_reports.Report.workload_obs () with

@@ -13,13 +13,16 @@
      mdhc compare ccsd(t) --device gpu
      mdhc run prl --parallel
      mdhc tune matmul --trace /tmp/t.json --metrics   (observability)
+     mdhc tune matmul --deadline 0.5     (suspend to a checkpoint, exit 3)
+     mdhc tune matmul --resume           (continue bit-identically)
+     mdhc tune matmul --inject 'cost.eval:raise@40'   (chaos testing)
      mdhc check                          (analyze the whole catalogue)
      mdhc check matvec --strict
      mdhc check --file examples/mcc.mdh -P N=1 ... --json *)
 
 open Cmdliner
 
-let version = "1.2.0"
+let version = "1.3.0"
 
 module W = Mdh_workloads.Workload
 module Device = Mdh_machine.Device
@@ -80,6 +83,67 @@ let chains_arg =
      result."
   in
   Arg.(value & opt int 1 & info [ "chains" ] ~doc ~docv:"K")
+
+let strategy_arg =
+  let strategies =
+    [ ("auto", Mdh_atf.Tuner.Auto); ("exhaustive", Mdh_atf.Tuner.Exhaustive);
+      ("random", Mdh_atf.Tuner.Random); ("anneal", Mdh_atf.Tuner.Anneal) ]
+  in
+  let doc =
+    "Search strategy: $(b,auto) (exhaustive when the space fits the budget, \
+     annealing otherwise), $(b,exhaustive), $(b,random) or $(b,anneal). \
+     Deadline suspension and $(b,--resume) apply to annealing strategies; \
+     batch strategies stop at the deadline with their partial best."
+  in
+  Arg.(
+    value
+    & opt (enum strategies) Mdh_atf.Tuner.Auto
+    & info [ "strategy" ] ~doc ~docv:"NAME")
+
+let deadline_arg =
+  let doc =
+    "Wall-clock budget for the search, in seconds. An annealing search \
+     that exceeds it suspends to a crash-safe checkpoint and exits with \
+     code 3; rerunning with $(b,--resume) continues it bit-identically."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~doc ~docv:"SECS")
+
+let checkpoint_arg =
+  let doc =
+    "Path of the tuning checkpoint file (default: derived from the tuning \
+     request, next to the tuning database)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~doc ~docv:"PATH")
+
+let checkpoint_every_arg =
+  let doc = "Evaluations between checkpoint writes, per annealing chain." in
+  Arg.(value & opt int 64 & info [ "checkpoint-every" ] ~doc ~docv:"EVALS")
+
+let resume_arg =
+  let doc =
+    "Continue a previously suspended (or killed) search from its \
+     checkpoint. The resumed search replays the exact random draw \
+     sequence, so the final schedule is bit-identical to an uninterrupted \
+     run; without a matching checkpoint the search simply starts fresh."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let inject_arg =
+  let doc =
+    "Arm deterministic fault injection for this run (overrides \
+     $(b,\\$MDH_FAULTS)). " ^ Mdh_fault.Fault.grammar
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~doc ~docv:"SPEC")
+
+(* MDH_FAULTS is armed in the driver entry point for every command;
+   --inject replaces it for one invocation *)
+let setup_faults ~inject =
+  match inject with
+  | None -> ()
+  | Some spec -> (
+    match Mdh_fault.Fault.configure spec with
+    | Ok () -> ()
+    | Error msg -> or_die (Error ("--inject: " ^ msg)))
 
 let no_cache_arg =
   let doc =
@@ -145,12 +209,18 @@ let setup_cache ~no_cache ~tuning_db =
     Mdh_atf.Tuning_db.set_ambient None
   end
   else
-    let path =
+    let db =
       match tuning_db with
-      | Some path -> path
-      | None -> Mdh_atf.Tuning_db.default_path ()
+      | Some path -> Mdh_atf.Tuning_db.open_db path
+      | None -> (
+        match Mdh_atf.Tuning_db.default_path () with
+        | Some path -> Mdh_atf.Tuning_db.open_db path
+        | None ->
+          (* no writable cache location (no XDG_CACHE_HOME/HOME): tune
+             in memory rather than littering the cwd *)
+          Mdh_atf.Tuning_db.in_memory ())
     in
-    Mdh_atf.Tuning_db.set_ambient (Some (Mdh_atf.Tuning_db.open_db path))
+    Mdh_atf.Tuning_db.set_ambient (Some db)
 
 (* --- commands --- *)
 
@@ -211,8 +281,9 @@ let show_cmd =
 
 let tune_cmd =
   let doc = "Auto-tune a workload's schedule with ATF and report the result." in
-  let run name device input budget seed chains parallel no_cache tuning_db trace
-      metrics =
+  let run name device input budget seed chains strategy deadline checkpoint
+      checkpoint_every resume parallel no_cache tuning_db inject trace metrics =
+    setup_faults ~inject;
     setup_cache ~no_cache ~tuning_db;
     setup_obs ~trace;
     let w = or_die (find_workload name) in
@@ -220,7 +291,9 @@ let tune_cmd =
     let params = or_die (params_of w input) in
     let md = W.to_md_hom w params in
     let tune pool =
-      Mdh_atf.Tuner.tune ~budget ~seed ~chains ?pool md dev Cost.tuned_codegen
+      Mdh_atf.Tuner.tune_resumable ~strategy ~budget ~seed ~chains ?pool
+        ?deadline_s:deadline ?checkpoint ~checkpoint_every ~resume md dev
+        Cost.tuned_codegen
     in
     let result, elapsed =
       Mdh_support.Util.time_it (fun () ->
@@ -229,7 +302,14 @@ let tune_cmd =
     in
     match result with
     | Error msg -> or_die (Error msg)
-    | Ok t ->
+    | Ok (Mdh_atf.Tuner.Suspended { checkpoint; evaluations }) ->
+      finish_obs ~trace ~metrics;
+      Printf.eprintf
+        "mdhc: tune: deadline reached after %d evaluations; progress saved \
+         to %s\nmdhc: rerun with --resume to continue the search\n%!"
+        evaluations checkpoint;
+      exit 3
+    | Ok (Mdh_atf.Tuner.Tuned t) ->
       Format.printf "best schedule: %a@." Schedule.pp t.Mdh_atf.Tuner.schedule;
       Printf.printf "estimated time: %s\n"
         (Format.asprintf "%.6gs" t.Mdh_atf.Tuner.estimated_s);
@@ -252,12 +332,14 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ workload_arg $ device_arg $ input_arg $ budget_arg $ seed_arg
-      $ chains_arg $ parallel_arg $ no_cache_arg $ tuning_db_arg $ trace_arg
-      $ metrics_arg)
+      $ chains_arg $ strategy_arg $ deadline_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg $ parallel_arg $ no_cache_arg
+      $ tuning_db_arg $ inject_arg $ trace_arg $ metrics_arg)
 
 let compare_cmd =
   let doc = "Compare every system of the Figure 4 line-up on one workload." in
-  let run name device input no_cache tuning_db trace metrics =
+  let run name device input no_cache tuning_db inject trace metrics =
+    setup_faults ~inject;
     setup_cache ~no_cache ~tuning_db;
     setup_obs ~trace;
     let w = or_die (find_workload name) in
@@ -291,7 +373,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ workload_arg $ device_arg $ input_arg $ no_cache_arg
-      $ tuning_db_arg $ trace_arg $ metrics_arg)
+      $ tuning_db_arg $ inject_arg $ trace_arg $ metrics_arg)
 
 let codegen_cmd =
   let doc = "Generate kernel source (CUDA for the GPU device, OpenCL for the \
@@ -486,6 +568,11 @@ let check_cmd =
       $ strict_arg $ metrics_arg)
 
 let () =
+  (match Mdh_fault.Fault.arm_from_env () with
+  | Ok _ -> ()
+  | Error msg ->
+    prerr_endline ("mdhc: MDH_FAULTS: " ^ msg);
+    exit 1);
   let doc = "MDH directive compiler driver (paper reproduction)" in
   let info = Cmd.info "mdhc" ~version ~doc in
   exit

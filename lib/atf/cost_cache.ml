@@ -41,6 +41,10 @@ let context_key ctx = ctx.prefix
 let schedule_key ctx schedule = Memo.key [ ctx.prefix; Schedule.to_string schedule ]
 
 let seconds ctx schedule =
+  (* chaos hook: lets the fault layer model a cost evaluation that dies or
+     stalls mid-search (fires per call, cached or not, so trigger counts
+     are independent of the cache state) *)
+  Mdh_fault.Fault.hit "cost.eval";
   Memo.find_or_add ~record cache (schedule_key ctx schedule) (fun () ->
       Cost.seconds ?include_transfers:ctx.include_transfers ctx.md ctx.dev ctx.cg
         schedule)

@@ -7,7 +7,15 @@
     Every strategy is deterministic in its seed(s), with or without a
     worker pool: parallelism only changes who computes each cost, never
     which candidates are drawn or how ties are resolved. The cost function
-    must be pure and safe to call from multiple domains. *)
+    must be pure and safe to call from multiple domains.
+
+    Robustness: a parallel fan-out that fails or times out (worker fault,
+    watchdog) is retried sequentially in the caller — counted as
+    [runtime.pool.degraded] — instead of aborting the search; determinism
+    makes the retry produce the identical result. Annealing additionally
+    exposes its complete per-chain progress as a {!chain_state} value, so
+    a deadline ([should_stop]) can suspend a search and a later process
+    can resume it bit-identically. *)
 
 type result = {
   best : Param.config;
@@ -25,34 +33,93 @@ val evaluate_batch :
   Param.config array ->
   float option array
 (** Cost every configuration, fanning the evaluations across the pool when
-    one is given (order of results always matches the input order). *)
+    one is given (order of results always matches the input order). Falls
+    back to a sequential pass when the pool fan-out raises or times out. *)
 
 val exhaustive :
-  ?pool:Mdh_runtime.Pool.t -> Space.t -> cost:(Param.config -> float option) ->
+  ?pool:Mdh_runtime.Pool.t ->
+  ?should_stop:(unit -> bool) ->
+  Space.t -> cost:(Param.config -> float option) ->
   result option
 (** Evaluate every configuration (capped at 100k); [None] when the space has
-    no valid configuration. *)
+    no valid configuration. [should_stop] is polled between evaluation
+    chunks; stopping early returns the best of what was evaluated. *)
 
 val random_search :
-  ?pool:Mdh_runtime.Pool.t -> Space.t -> seed:int -> budget:int ->
+  ?pool:Mdh_runtime.Pool.t ->
+  ?should_stop:(unit -> bool) ->
+  Space.t -> seed:int -> budget:int ->
   cost:(Param.config -> float option) -> result option
 (** Uniform sampling. Sampling is rng-only (costs never steer it), so the
     candidate list is drawn sequentially and costed as one batch; at most
     [10 x budget] draw attempts guard against spaces where most samples
-    dead-end. *)
+    dead-end. [should_stop] as in {!exhaustive}. *)
+
+(** {1 Checkpointable simulated annealing} *)
+
+type chain_state = {
+  cs_seed : int;
+  cs_rng : int64;  (** complete rng state ({!Mdh_support.Rng.state}) *)
+  cs_evals : int;
+  cs_best : Param.config option;
+  cs_best_cost : float;
+  cs_trace : (int * float) list;  (** newest improvement first *)
+  cs_current : (Param.config * float) option;  (** [None] until init *)
+  cs_t0 : float;  (** cooling scale, fixed by the initial point *)
+  cs_done : bool;
+}
+(** The complete progress of one annealing chain. Resuming a chain from a
+    snapshot replays the exact rng draw sequence of an uninterrupted run,
+    so the final result is bit-identical however often the chain was
+    suspended in between. *)
+
+val chain_start : seed:int -> chain_state
+
+val chain_result : chain_state -> result option
+(** The chain's result so far; [None] when no legal point was found. *)
+
+val anneal_chain :
+  ?should_stop:(unit -> bool) ->
+  ?on_progress:(chain_state -> unit) ->
+  ?progress_every:int ->
+  Space.t -> budget:int -> cost:(Param.config -> float option) ->
+  chain_state -> chain_state
+(** Advance one chain until its budget is consumed, no legal start is
+    found, or [should_stop] fires between evaluations. [on_progress] is
+    invoked with a resumable snapshot every [progress_every] (default 64)
+    evaluations and once on completion — the checkpoint hook. *)
 
 val simulated_annealing :
+  ?should_stop:(unit -> bool) ->
   Space.t -> seed:int -> budget:int -> cost:(Param.config -> float option) ->
   result option
 (** Random restart + neighbourhood walk with exponential cooling. A single
     chain is inherently sequential; for parallelism use
     {!simulated_annealing_portfolio}. *)
 
+type portfolio_outcome =
+  | Portfolio_done of result option
+  | Portfolio_paused of chain_state array
+      (** At least one chain was suspended by [should_stop]; the array
+          holds every chain's resumable state (index-aligned with the
+          input). *)
+
+val anneal_portfolio :
+  ?pool:Mdh_runtime.Pool.t ->
+  ?should_stop:(unit -> bool) ->
+  ?on_progress:(int -> chain_state -> unit) ->
+  ?progress_every:int ->
+  Space.t -> chains:chain_state array -> budget:int ->
+  cost:(Param.config -> float option) ->
+  portfolio_outcome
+(** Run (or resume) a portfolio of chains, one per state, each to the given
+    per-chain budget; chains run across the pool when one is given.
+    [on_progress] receives the chain index alongside each snapshot.
+    Combination is deterministic in the chain list (ties to the earliest),
+    with [evaluations] summed over chains that produced a result. *)
+
 val simulated_annealing_portfolio :
   ?pool:Mdh_runtime.Pool.t -> Space.t -> seeds:int list -> budget:int ->
   cost:(Param.config -> float option) -> result option
-(** K independent annealing chains, one per seed, each with the given
-    per-chain budget; chains run across the pool when one is given. Keeps
-    the best chain's result (ties resolved to the earliest seed in the
-    list) with [evaluations] summed over all chains — deterministic given
-    the seed list, parallel or sequential. *)
+(** K independent fresh annealing chains, one per seed — deterministic
+    given the seed list, parallel or sequential. *)

@@ -7,10 +7,15 @@ module Cost = Mdh_lowering.Cost
 module Trace = Mdh_obs.Trace
 module Metrics = Mdh_obs.Metrics
 module Clock = Mdh_obs.Clock
+module Crc32 = Mdh_support.Crc32
+module Fault = Mdh_fault.Fault
 
 let m_runs = Metrics.counter "atf.tuner.runs"
 let m_db_recalls = Metrics.counter "atf.tuner.db_recalls"
 let m_tune_s = Metrics.histogram "atf.tuner.tune_s"
+let m_ckpt_writes = Metrics.counter "atf.checkpoint.writes"
+let m_ckpt_resumes = Metrics.counter "atf.checkpoint.resumes"
+let m_ckpt_corrupt = Metrics.counter "atf.checkpoint.corrupt"
 
 type strategy = Exhaustive | Random | Anneal | Auto
 
@@ -88,8 +93,204 @@ let db_key ~ctx ~strategy ~budget ~seed ~chains ~parallel_options =
 let db_hit_result estimated_s =
   { Search.best = []; best_cost = estimated_s; evaluations = 0; trace = [] }
 
-let tune ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1) ?pool
-    ?include_transfers ?parallel_options ?db md dev cg =
+(* --- crash-safe annealing checkpoints ---
+
+   A checkpoint is a small text file: one CRC-framed header naming the
+   tuning request (its database key plus the portfolio shape) and one
+   CRC-framed line per annealing chain holding that chain's complete
+   {!Search.chain_state}. Floats are serialized with [%h] and the rng
+   state with [%Lx], so every value round-trips exactly — which is what
+   makes a resumed search bit-identical to an uninterrupted one. The file
+   is replaced atomically (tmp + rename); a torn or corrupt checkpoint is
+   therefore only possible through outside interference, and is answered
+   by starting the search afresh, never by aborting. *)
+
+let ckpt_magic = "mdh-ckpt-v1"
+
+let config_to_string = function
+  | [] -> "."
+  | config ->
+    String.concat "," (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) config)
+
+let config_of_string = function
+  | "." -> Some []
+  | s ->
+    let binding b =
+      match String.index_opt b '=' with
+      | None -> None
+      | Some i ->
+        Option.map
+          (fun v -> (String.sub b 0 i, v))
+          (int_of_string_opt (String.sub b (i + 1) (String.length b - i - 1)))
+    in
+    List.fold_right
+      (fun b acc ->
+        match (binding b, acc) with Some kv, Some l -> Some (kv :: l) | _ -> None)
+      (String.split_on_char ',' s) (Some [])
+
+let trace_to_string = function
+  | [] -> "."
+  | trace ->
+    String.concat ";"
+      (List.map (fun (i, c) -> Printf.sprintf "%d:%h" i c) trace)
+
+let trace_of_string = function
+  | "." -> Some []
+  | s ->
+    let entry e =
+      match String.index_opt e ':' with
+      | None -> None
+      | Some i -> (
+        match
+          ( int_of_string_opt (String.sub e 0 i),
+            float_of_string_opt (String.sub e (i + 1) (String.length e - i - 1)) )
+        with
+        | Some idx, Some c -> Some (idx, c)
+        | _ -> None)
+    in
+    List.fold_right
+      (fun e acc ->
+        match (entry e, acc) with Some ic, Some l -> Some (ic :: l) | _ -> None)
+      (String.split_on_char ';' s) (Some [])
+
+let framed body = Printf.sprintf "%s\t%s" body (Crc32.to_hex (Crc32.string body))
+
+(* [Some body] iff the line's trailing CRC matches *)
+let unframed line =
+  match String.rindex_opt line '\t' with
+  | None -> None
+  | Some i ->
+    let body = String.sub line 0 i in
+    let crc = String.sub line (i + 1) (String.length line - i - 1) in
+    if Crc32.of_hex crc = Some (Crc32.string body) then Some body else None
+
+let chain_to_line (s : Search.chain_state) =
+  framed
+    (String.concat "\t"
+       [ string_of_int s.Search.cs_seed;
+         Printf.sprintf "%Lx" s.Search.cs_rng;
+         string_of_int s.Search.cs_evals;
+         (match s.Search.cs_best with None -> "-" | Some c -> config_to_string c);
+         Printf.sprintf "%h" s.Search.cs_best_cost;
+         trace_to_string s.Search.cs_trace;
+         (match s.Search.cs_current with
+         | None -> "-"
+         | Some (c, _) -> config_to_string c);
+         (match s.Search.cs_current with
+         | None -> "-"
+         | Some (_, c) -> Printf.sprintf "%h" c);
+         Printf.sprintf "%h" s.Search.cs_t0;
+         (if s.Search.cs_done then "1" else "0") ])
+
+let chain_of_line line =
+  Option.bind (unframed line) @@ fun body ->
+  match String.split_on_char '\t' body with
+  | [ seed; rng; evals; best; best_cost; trace; cur_cfg; cur_cost; t0; done_ ]
+    -> (
+    let int = int_of_string_opt and fl = float_of_string_opt in
+    let rng =
+      try Some (Int64.of_string ("0x" ^ rng)) with Failure _ -> None
+    in
+    let best =
+      match best with "-" -> Some None | c -> Option.map Option.some (config_of_string c)
+    in
+    let current =
+      match (cur_cfg, cur_cost) with
+      | "-", "-" -> Some None
+      | c, f -> (
+        match (config_of_string c, fl f) with
+        | Some c, Some f -> Some (Some (c, f))
+        | _ -> None)
+    in
+    match
+      ( int seed, rng, int evals, best, fl best_cost, trace_of_string trace,
+        current, fl t0, done_ )
+    with
+    | ( Some cs_seed, Some cs_rng, Some cs_evals, Some cs_best,
+        Some cs_best_cost, Some cs_trace, Some cs_current, Some cs_t0,
+        ("0" | "1") ) ->
+      Some
+        { Search.cs_seed; cs_rng; cs_evals; cs_best; cs_best_cost; cs_trace;
+          cs_current; cs_t0; cs_done = done_ = "1" }
+    | _ -> None)
+  | _ -> None
+
+let default_checkpoint_path ~db key =
+  let dir =
+    match Option.bind db Tuning_db.path with
+    | Some db_path -> Filename.dirname db_path
+    | None -> Filename.get_temp_dir_name ()
+  in
+  Filename.concat dir (Printf.sprintf "mdh-%s.ckpt" key)
+
+let ckpt_warned = Atomic.make false
+
+let write_checkpoint ~path ~key ~budget ~chains ~seed slots =
+  let header =
+    framed
+      (String.concat "\t"
+         [ ckpt_magic; key; string_of_int budget; string_of_int chains;
+           string_of_int seed ])
+  in
+  let lines = header :: List.map chain_to_line (Array.to_list slots) in
+  let data = String.concat "\n" lines ^ "\n" in
+  try
+    Fault.hit "db.write";
+    let data = Fault.mangle "db.write" data in
+    let tmp = path ^ ".tmp" in
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data);
+    Fault.hit "db.rename";
+    Sys.rename tmp path;
+    Metrics.incr m_ckpt_writes
+  with Sys_error _ | Unix.Unix_error _ | Fault.Injected _ ->
+    (* a failing checkpoint write never fails the tuning run — it only
+       costs crash-safety, which is worth one warning *)
+    if not (Atomic.exchange ckpt_warned true) then
+      Printf.eprintf
+        "mdh: warning: cannot write checkpoint %s; continuing without \
+         crash-safety\n%!"
+        path
+
+type ckpt_read =
+  | Ck_missing
+  | Ck_corrupt
+  | Ck_stale  (** well-formed, but for a different tuning request *)
+  | Ck_ok of Search.chain_state array
+
+let read_checkpoint ~path ~key ~chains =
+  match
+    (try
+       Fault.hit "db.read";
+       Some (In_channel.with_open_bin path In_channel.input_lines)
+     with
+    | Sys_error _ -> None
+    | Fault.Injected _ | Unix.Unix_error _ -> Some [])
+  with
+  | None -> Ck_missing
+  | Some [] -> Ck_corrupt
+  | Some (header :: rest) -> (
+    match Option.map (String.split_on_char '\t') (unframed header) with
+    | Some [ magic; k; _budget; n; _seed ] when magic = ckpt_magic ->
+      if k <> key || n <> string_of_int chains then Ck_stale
+      else
+        let states = List.filter_map chain_of_line rest in
+        if List.length states = chains && List.length rest = chains then
+          Ck_ok (Array.of_list states)
+        else Ck_corrupt
+    | _ -> Ck_corrupt)
+
+let remove_checkpoint path =
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; path ^ ".tmp" ]
+
+type outcome =
+  | Tuned of tuning
+  | Suspended of { checkpoint : string; evaluations : int }
+
+let tune_resumable ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1)
+    ?pool ?include_transfers ?parallel_options ?db ?deadline_s ?checkpoint
+    ?(checkpoint_every = 64) ?(resume = false) ?should_stop md dev cg =
   let chains = max 1 chains in
   Metrics.incr m_runs;
   let t_start = Clock.now_ns () in
@@ -111,7 +312,10 @@ let tune ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1) ?pool
     match recalled with
     | Some (schedule, estimated_s) ->
       Metrics.incr m_db_recalls;
-      Ok { schedule; estimated_s; search = db_hit_result estimated_s; from_db = true }
+      Ok
+        (Tuned
+           { schedule; estimated_s; search = db_hit_result estimated_s;
+             from_db = true })
     | None -> (
       let sp, decode =
         Trace.with_span ~cat:"atf" "tuner.space_build" (fun () ->
@@ -122,29 +326,114 @@ let tune ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1) ?pool
         | Ok s -> Some s
         | Error _ -> None
       in
+      let deadline_stop =
+        Option.map
+          (fun limit ->
+            let t0 = Clock.now_ns () in
+            fun () -> Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0) >= limit)
+          deadline_s
+      in
+      let stop =
+        match (deadline_stop, should_stop) with
+        | None, None -> None
+        | (Some _ as s), None | None, (Some _ as s) -> s
+        | Some f, Some g -> Some (fun () -> f () || g ())
+      in
+      (* with neither a deadline, a stop predicate, an explicit checkpoint
+         path nor a resume request, the search takes the historic
+         no-checkpoint path: zero extra i/o, bit-identical output *)
+      let checkpointing = resume || Option.is_some stop || Option.is_some checkpoint in
+      (* batch strategies stop between evaluation chunks: the partial best
+         is a valid (if under-searched) result, but is not recorded in the
+         database, where it would shadow the full search forever *)
+      let ran_to_completion () =
+        match stop with Some f -> not (f ()) | None -> true
+      in
+      let per_budget = max 1 (budget / chains) in
+      let fresh_chains () =
+        Array.init chains (fun i -> Search.chain_start ~seed:(seed + i))
+      in
       let anneal () =
         (* K independent chains splitting the budget; the seed list depends
            only on (seed, chains), so the outcome is identical with or
            without a pool *)
-        Search.simulated_annealing_portfolio ?pool sp
-          ~seeds:(List.init chains (fun i -> seed + i))
-          ~budget:(max 1 (budget / chains))
-          ~cost
+        if not checkpointing then
+          `Done
+            ( Search.simulated_annealing_portfolio ?pool sp
+                ~seeds:(List.init chains (fun i -> seed + i))
+                ~budget:per_budget ~cost,
+              true )
+        else begin
+          let ckpt_path =
+            match checkpoint with
+            | Some p -> p
+            | None -> default_checkpoint_path ~db key
+          in
+          let initial =
+            if not resume then fresh_chains ()
+            else
+              match read_checkpoint ~path:ckpt_path ~key ~chains with
+              | Ck_ok states ->
+                Metrics.incr m_ckpt_resumes;
+                states
+              | Ck_missing -> fresh_chains ()
+              | Ck_stale ->
+                Printf.eprintf
+                  "mdh: checkpoint %s belongs to a different tuning request; \
+                   starting fresh\n%!"
+                  ckpt_path;
+                fresh_chains ()
+              | Ck_corrupt ->
+                Metrics.incr m_ckpt_corrupt;
+                Printf.eprintf "mdh: checkpoint %s is corrupt; starting fresh\n%!"
+                  ckpt_path;
+                fresh_chains ()
+          in
+          let slots = Array.copy initial in
+          let slots_mutex = Mutex.create () in
+          let save () =
+            write_checkpoint ~path:ckpt_path ~key ~budget:per_budget ~chains
+              ~seed slots
+          in
+          let on_progress i s =
+            Mutex.protect slots_mutex (fun () ->
+                slots.(i) <- s;
+                save ())
+          in
+          match
+            Search.anneal_portfolio ?pool ?should_stop:stop ~on_progress
+              ~progress_every:checkpoint_every sp ~chains:initial
+              ~budget:per_budget ~cost
+          with
+          | Search.Portfolio_done r ->
+            remove_checkpoint ckpt_path;
+            `Done (r, true)
+          | Search.Portfolio_paused states ->
+            Array.blit states 0 slots 0 chains;
+            save ();
+            `Paused
+              ( ckpt_path,
+                Array.fold_left (fun acc s -> acc + s.Search.cs_evals) 0 states )
+        end
       in
+      let batch r = `Done (r, ran_to_completion ()) in
       let search_result =
         Trace.with_span ~cat:"atf" "tuner.search" (fun () ->
             match strategy with
-            | Exhaustive -> Search.exhaustive ?pool sp ~cost
-            | Random -> Search.random_search ?pool sp ~seed ~budget ~cost
+            | Exhaustive -> batch (Search.exhaustive ?pool ?should_stop:stop sp ~cost)
+            | Random ->
+              batch (Search.random_search ?pool ?should_stop:stop sp ~seed ~budget ~cost)
             | Anneal -> anneal ()
             | Auto ->
               if Space.size ~cap:(budget + 1) sp <= budget then
-                Search.exhaustive ?pool sp ~cost
+                batch (Search.exhaustive ?pool ?should_stop:stop sp ~cost)
               else anneal ())
       in
       match search_result with
-      | None -> Error "tuning found no legal schedule"
-      | Some search ->
+      | `Paused (checkpoint, evaluations) ->
+        Ok (Suspended { checkpoint; evaluations })
+      | `Done (None, _) -> Error "tuning found no legal schedule"
+      | `Done (Some search, complete) ->
         (* floor the stochastic search at the heuristic starting point: the
            default tiles with the first (largest) allowed parallel set *)
         let searched = decode search.Search.best in
@@ -160,8 +449,19 @@ let tune ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1) ?pool
           | Ok floor_s when floor_s < search.Search.best_cost -> (floor_schedule, floor_s)
           | _ -> (searched, search.Search.best_cost)
         in
-        Option.iter (fun d -> Tuning_db.store d key schedule estimated_s) db;
-        Ok { schedule; estimated_s; search; from_db = false })
+        if complete then
+          Option.iter (fun d -> Tuning_db.store d key schedule estimated_s) db;
+        Ok (Tuned { schedule; estimated_s; search; from_db = false }))
   in
   Metrics.observe m_tune_s (Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t_start));
   result
+
+let tune ?strategy ?budget ?seed ?chains ?pool ?include_transfers
+    ?parallel_options ?db md dev cg =
+  match
+    tune_resumable ?strategy ?budget ?seed ?chains ?pool ?include_transfers
+      ?parallel_options ?db md dev cg
+  with
+  | Ok (Tuned t) -> Ok t
+  | Ok (Suspended _) -> assert false (* no deadline or stop was supplied *)
+  | Error e -> Error e

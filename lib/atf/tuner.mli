@@ -58,3 +58,55 @@ val tune :
     effect the search is skipped on a key hit and recorded on a miss.
     [Error] when no legal schedule exists (cannot happen for well-formed
     computations: the sequential schedule is always legal). *)
+
+(** {1 Deadlines and crash-safe resume} *)
+
+type outcome =
+  | Tuned of tuning
+  | Suspended of { checkpoint : string; evaluations : int }
+      (** The deadline (or stop predicate) fired mid-anneal; the complete
+          portfolio state is on disk at [checkpoint], and a later
+          [tune_resumable ~resume:true] with the same request continues
+          from it. [evaluations] counts the work done so far. *)
+
+val tune_resumable :
+  ?strategy:strategy ->
+  ?budget:int ->
+  ?seed:int ->
+  ?chains:int ->
+  ?pool:Mdh_runtime.Pool.t ->
+  ?include_transfers:bool ->
+  ?parallel_options:int list list ->
+  ?db:Tuning_db.t ->
+  ?deadline_s:float ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?should_stop:(unit -> bool) ->
+  Mdh_core.Md_hom.t ->
+  Mdh_machine.Device.t ->
+  Mdh_lowering.Cost.codegen ->
+  (outcome, string) Stdlib.result
+(** {!tune} with a wall-clock budget and crash-safe suspension.
+    [deadline_s] bounds the search; [should_stop] is an additional
+    caller-supplied stop predicate (tests use it to suspend after an exact
+    evaluation count). When either fires, annealing strategies suspend to
+    a checkpoint file and return [Suspended]; batch strategies
+    ([Exhaustive]/[Random], including [Auto] resolving to exhaustive) stop
+    between evaluation chunks and return the partial best as [Tuned]
+    without recording it in the tuning database.
+
+    While a deadline, stop predicate, checkpoint path or resume request is
+    in effect, annealing writes a CRC-framed checkpoint (atomic tmp +
+    rename) every [checkpoint_every] (default 64) evaluations per chain —
+    to [checkpoint], defaulting to [mdh-<db key>.ckpt] next to the tuning
+    database (or in the temp dir for in-memory databases). [resume]
+    restores the portfolio from that file: the resumed search replays the
+    exact rng draw sequence, so its result is bit-identical to an
+    uninterrupted run — however often it was suspended or killed in
+    between. A corrupt checkpoint warns on stderr, counts
+    [atf.checkpoint.corrupt], and starts afresh; one for a different
+    request (key mismatch) is ignored; completion deletes it. Checkpoint
+    activity is visible as [atf.checkpoint.writes] / [.resumes] /
+    [.corrupt]. Without any of those four options the behaviour (and
+    stdout) is exactly {!tune}'s. *)

@@ -1,65 +1,187 @@
 module Schedule = Mdh_lowering.Schedule
+module Crc32 = Mdh_support.Crc32
+module Fault = Mdh_fault.Fault
 
 type t = {
-  path : string;
+  path : string option; (* None = in-memory only, nothing ever persisted *)
   entries : (string, Schedule.t * float) Hashtbl.t;
   mutex : Mutex.t;
   hits : int Atomic.t;
   lookups : int Atomic.t;
+  mutable persist : bool; (* flips off on EACCES/EROFS-style failures *)
+  mutable warned : bool; (* one warning per database, not per write *)
 }
 
 let default_path () =
   match Sys.getenv_opt "MDH_TUNING_DB" with
-  | Some path when path <> "" -> path
+  | Some path when path <> "" -> Some path
   | _ ->
     let cache_root =
       match Sys.getenv_opt "XDG_CACHE_HOME" with
-      | Some dir when dir <> "" -> dir
+      | Some dir when dir <> "" -> Some dir
       | _ -> (
         match Sys.getenv_opt "HOME" with
-        | Some home when home <> "" -> Filename.concat home ".cache"
-        | _ -> Filename.current_dir_name)
+        | Some home when home <> "" -> Some (Filename.concat home ".cache")
+        | _ -> None)
     in
-    Filename.concat (Filename.concat cache_root "mdh") "tuning.db"
-
-(* one entry per line: key TAB estimated-seconds TAB schedule. Later lines
-   win, so appending an updated entry supersedes the old one on reload. *)
-let parse_line line =
-  match String.split_on_char '\t' line with
-  | [ key; cost; schedule ] -> (
-    match (float_of_string_opt cost, Schedule.of_string schedule) with
-    | Some cost, Ok schedule -> Some (key, (schedule, cost))
-    | _ -> None)
-  | _ -> None
-
-let load path entries =
-  if Sys.file_exists path then
-    In_channel.with_open_text path (fun ic ->
-        let rec loop () =
-          match In_channel.input_line ic with
-          | None -> ()
-          | Some line ->
-            (match parse_line line with
-            | Some (key, entry) -> Hashtbl.replace entries key entry
-            | None -> ());
-            loop ()
-        in
-        loop ())
-
-let open_db path =
-  let entries = Hashtbl.create 64 in
-  (try load path entries with Sys_error _ -> ());
-  { path; entries; mutex = Mutex.create (); hits = Atomic.make 0;
-    lookups = Atomic.make 0 }
-
-let path t = t.path
-let size t = Hashtbl.length t.entries
+    (* no cache root at all (both XDG_CACHE_HOME and HOME unset): never
+       scatter tuning.db into whatever the cwd happens to be — the
+       caller should fall back to an in-memory database *)
+    Option.map
+      (fun root -> Filename.concat (Filename.concat root "mdh") "tuning.db")
+      cache_root
 
 (* process-wide registry mirrors of the per-db counters, so db traffic
-   shows up in --metrics reports alongside everything else *)
+   and recovery events show up in --metrics reports *)
 let m_lookups = Mdh_obs.Metrics.counter "atf.tuning_db.lookups"
 let m_hits = Mdh_obs.Metrics.counter "atf.tuning_db.hits"
 let m_stores = Mdh_obs.Metrics.counter "atf.tuning_db.stores"
+let m_corrupt = Mdh_obs.Metrics.counter "atf.tuning_db.corrupt_lines"
+let m_quarantined = Mdh_obs.Metrics.counter "atf.tuning_db.quarantined"
+let m_memory_only = Mdh_obs.Metrics.counter "atf.tuning_db.memory_only"
+
+let warn t fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if not t.warned then begin
+        t.warned <- true;
+        Printf.eprintf "mdh: tuning db: %s\n%!" msg
+      end)
+    fmt
+
+(* one entry per line:
+     key TAB estimated-seconds TAB schedule TAB crc32(preceding fields)
+   Later lines win, so appending an updated entry supersedes the old one
+   on reload. The checksum frames each journal append: a torn or
+   bit-flipped record fails to verify and is quarantined instead of
+   silently (mis)trusted. Legacy three-field lines (pre-checksum
+   databases) are still accepted. *)
+let line_body key schedule cost =
+  Printf.sprintf "%s\t%.17g\t%s" key cost (Schedule.to_string schedule)
+
+let format_line key schedule cost =
+  let body = line_body key schedule cost in
+  Printf.sprintf "%s\t%s\n" body (Crc32.to_hex (Crc32.string body))
+
+let parse_fields key cost schedule =
+  match (float_of_string_opt cost, Schedule.of_string schedule) with
+  | Some cost, Ok schedule -> Some (key, (schedule, cost))
+  | _ -> None
+
+let parse_line line =
+  match String.split_on_char '\t' line with
+  | [ key; cost; schedule; crc ] ->
+    if Crc32.of_hex crc = Some (Crc32.string (String.concat "\t" [ key; cost; schedule ]))
+    then parse_fields key cost schedule
+    else None
+  | [ key; cost; schedule ] -> parse_fields key cost schedule
+  | _ -> None
+
+(* --- file plumbing: advisory locking and atomic replacement --- *)
+
+let lock_path path = path ^ ".lock"
+let quarantine_path path = path ^ ".corrupt"
+
+(* cross-process safety: every writer (append, rebuild, compact) and the
+   initial load hold an advisory lock on a sidecar file, so concurrent
+   mdhc/bench invocations never interleave partial writes. The sidecar —
+   not the db file itself — is locked because the db file is replaced by
+   rename during rebuilds. *)
+let with_file_lock path f =
+  let fd =
+    Unix.openfile (lock_path path) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      Unix.close fd)
+    (fun () ->
+      Unix.lockf fd Unix.F_LOCK 0;
+      f ())
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* atomic replace: write everything to a temp file in the same directory,
+   then rename over the target — readers see the old or the new file,
+   never a half-written one *)
+let replace_with path write_body =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_gen
+    [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp write_body;
+  Fault.hit "db.rename";
+  Sys.rename tmp path
+
+let write_entries oc entries =
+  Hashtbl.iter
+    (fun key (schedule, cost) -> Out_channel.output_string oc (format_line key schedule cost))
+    entries
+
+(* --- loading, with quarantine-and-rebuild recovery --- *)
+
+let load_lines path entries =
+  let corrupt = ref 0 in
+  In_channel.with_open_bin path (fun ic ->
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+          (if String.trim line <> "" then
+             match parse_line line with
+             | Some (key, entry) -> Hashtbl.replace entries key entry
+             | None -> incr corrupt);
+          loop ()
+      in
+      loop ());
+  !corrupt
+
+let quarantine_and_rebuild t path =
+  (* keep the evidence: the damaged file is moved aside (latest wins) and
+     a clean file is rebuilt from the entries that verified *)
+  Mdh_obs.Metrics.incr m_quarantined;
+  Fault.hit "db.rename";
+  Sys.rename path (quarantine_path path);
+  replace_with path (fun oc -> write_entries oc t.entries)
+
+let load t path =
+  if Sys.file_exists path then begin
+    Fault.hit "db.read";
+    with_file_lock path (fun () ->
+        if Sys.file_exists path then begin
+          let corrupt = load_lines path t.entries in
+          if corrupt > 0 then begin
+            Mdh_obs.Metrics.add m_corrupt corrupt;
+            warn t
+              "%s: %d corrupt line(s) dropped; file quarantined to %s and rebuilt"
+              path corrupt (quarantine_path path);
+            quarantine_and_rebuild t path
+          end
+        end)
+  end
+
+let make path =
+  { path; entries = Hashtbl.create 64; mutex = Mutex.create ();
+    hits = Atomic.make 0; lookups = Atomic.make 0;
+    persist = path <> None; warned = false }
+
+let open_db path =
+  let t = make (Some path) in
+  (* an unreadable or fault-injected file must never abort the run: the
+     database is a cache, so degrade to an empty one *)
+  (try load t path with
+  | Sys_error _ | Unix.Unix_error _ | Fault.Injected _ ->
+    warn t "%s: unreadable; continuing with an empty database" path);
+  t
+
+let in_memory () =
+  Mdh_obs.Metrics.incr m_memory_only;
+  make None
+
+let path t = t.path
+let size t = Hashtbl.length t.entries
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -75,21 +197,41 @@ let find t key =
     hit
   | None -> None
 
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+(* persistence is best-effort: an unwritable cache location (read-only
+   filesystem, EACCES, missing home) must never fail a tuning run — the
+   database degrades to in-memory for the rest of the process, with one
+   warning and a metrics trace *)
+let disable_persistence t reason =
+  t.persist <- false;
+  Mdh_obs.Metrics.incr m_memory_only;
+  warn t "%s; continuing in-memory only" reason
 
 let append_line t key schedule cost =
-  try
-    mkdir_p (Filename.dirname t.path);
-    Out_channel.with_open_gen
-      [ Open_append; Open_creat; Open_text ] 0o644 t.path (fun oc ->
-        Printf.fprintf oc "%s\t%.17g\t%s\n" key cost (Schedule.to_string schedule))
-  with Sys_error _ | Unix.Unix_error _ -> ()
-(* persistence is best-effort: an unwritable cache directory must never
-   fail a tuning run *)
+  match t.path with
+  | None -> ()
+  | Some path when t.persist -> (
+    try
+      mkdir_p (Filename.dirname path);
+      with_file_lock path (fun () ->
+          Fault.hit "db.write";
+          let line = Fault.mangle "db.write" (format_line key schedule cost) in
+          (* O_APPEND + a single write(2): concurrent appenders (under the
+             advisory lock, belt and braces) never interleave bytes, and a
+             crash tears at most this one checksummed line *)
+          let fd =
+            Unix.openfile path
+              [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+          in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () ->
+              ignore (Unix.write_substring fd line 0 (String.length line))))
+    with
+    | Unix.Unix_error ((EACCES | EROFS | EPERM | ENOENT | ENOTDIR), _, _)
+    | Sys_error _ ->
+      disable_persistence t (path ^ " is not writable")
+    | Fault.Injected _ -> () (* injected write failure: entry stays in memory *))
+  | Some _ -> ()
 
 let store t key schedule cost =
   let fresh =
@@ -106,15 +248,39 @@ let store t key schedule cost =
     append_line t key schedule cost
   end
 
+let compact t =
+  match t.path with
+  | None -> ()
+  | Some path when t.persist -> (
+    try
+      mkdir_p (Filename.dirname path);
+      with_lock t (fun () ->
+          with_file_lock path (fun () ->
+              replace_with path (fun oc -> write_entries oc t.entries)))
+    with
+    | Unix.Unix_error _ | Sys_error _ ->
+      disable_persistence t (path ^ " is not writable")
+    | Fault.Injected _ -> ())
+  | Some _ -> ()
+
+let remove_if_exists path =
+  if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ()
+
 let clear t =
   with_lock t (fun () -> Hashtbl.reset t.entries);
-  if Sys.file_exists t.path then try Sys.remove t.path with Sys_error _ -> ()
+  match t.path with
+  | None -> ()
+  | Some path ->
+    List.iter remove_if_exists
+      [ path; path ^ ".tmp"; quarantine_path path; lock_path path ]
 
 type stats = { n_hits : int; n_lookups : int; n_entries : int }
 
 let stats t =
   { n_hits = Atomic.get t.hits; n_lookups = Atomic.get t.lookups;
     n_entries = size t }
+
+let persistent t = t.persist && t.path <> None
 
 let ambient_db : t option ref = ref None
 let set_ambient db = ambient_db := db

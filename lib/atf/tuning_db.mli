@@ -1,4 +1,5 @@
-(** Persistent key → (schedule, estimated seconds) tuning database.
+(** Persistent key → (schedule, estimated seconds) tuning database,
+    hardened against crashes, corruption and contention.
 
     Warm runs of `mdhc tune`/`mdhc compare` and `bench/main.exe figure4`
     skip the schedule search entirely: {!Tuner.tune} consults the database
@@ -7,30 +8,58 @@
     parallel options), so a hit is exactly the schedule the same search
     would have re-derived.
 
-    The on-disk format is one [key TAB cost TAB schedule] line per entry
-    (latest line wins), appended on every new result; loading tolerates
-    unreadable files and malformed lines, and persistence is best-effort —
-    an unwritable path never fails tuning. *)
+    Durability contract:
+    - every on-disk line is [key TAB cost TAB schedule TAB crc32] (latest
+      line wins); appends are one [O_APPEND] write(2) of one checksummed
+      line, so a crash tears at most the final line;
+    - loading verifies each checksum; any corrupt line is dropped and
+      counted ([atf.tuning_db.corrupt_lines]), the damaged file is
+      quarantined to [PATH.corrupt] and a clean file is rebuilt atomically
+      (temp file + rename, [atf.tuning_db.quarantined]);
+    - writers and the loader hold an advisory [Unix.lockf] lock on
+      [PATH.lock], so concurrent processes never interleave writes;
+    - persistence is best-effort: unreadable or unwritable paths degrade
+      to an in-memory database with a single warning
+      ([atf.tuning_db.memory_only]) and never fail the tuning run. *)
 
 type t
 
-val default_path : unit -> string
+val default_path : unit -> string option
 (** [$MDH_TUNING_DB], else [$XDG_CACHE_HOME/mdh/tuning.db], else
-    [$HOME/.cache/mdh/tuning.db]. *)
+    [$HOME/.cache/mdh/tuning.db]; [None] when no cache root exists (both
+    [XDG_CACHE_HOME] and [HOME] unset) — callers should then use
+    {!in_memory} rather than scattering [tuning.db] into the cwd. *)
 
 val open_db : string -> t
-(** Load (or lazily create at first store) the database at the path. *)
+(** Load (or lazily create at first store) the database at the path,
+    recovering from corruption as described above. *)
 
-val path : t -> string
+val in_memory : unit -> t
+(** A database that never touches the filesystem (counted on the registry
+    as [atf.tuning_db.memory_only]). *)
+
+val path : t -> string option
+(** [None] for in-memory databases. *)
+
 val size : t -> int
 
+val persistent : t -> bool
+(** Whether stores still reach the disk (false for in-memory databases
+    and after degradation on a write failure). *)
+
 val find : t -> string -> (Mdh_lowering.Schedule.t * float) option
+
 val store : t -> string -> Mdh_lowering.Schedule.t -> float -> unit
-(** Record in memory and append to the file (no-op if the key already holds
-    the same entry). *)
+(** Record in memory and append a checksummed line to the file (no-op if
+    the key already holds the same entry). *)
+
+val compact : t -> unit
+(** Atomically rewrite the file with one line per live entry, dropping
+    superseded journal appends. *)
 
 val clear : t -> unit
-(** Drop all entries and delete the backing file. *)
+(** Drop all entries and delete the backing file (and its lock,
+    quarantine and temp siblings). *)
 
 type stats = { n_hits : int; n_lookups : int; n_entries : int }
 

@@ -20,7 +20,16 @@ type t = {
          slot i+1 is worker i. Single writer per slot. *)
   jobs : int Atomic.t;
   created_ns : int64;
+  watchdog_s : float option;
+      (* per-job barrier timeout; None waits forever (the original
+         behaviour, and the default) *)
+  is_degraded : bool Atomic.t;
+      (* set when the watchdog expires: the pool may still be wedged
+         behind a stuck worker, so every later job runs sequentially in
+         the caller instead of aborting the run *)
 }
+
+exception Watchdog_timeout
 
 (* process-wide accumulators, published when pools shut down, so the
    front ends can report utilization after [with_pool] has closed *)
@@ -29,6 +38,7 @@ let m_busy = Metrics.gauge "runtime.pool.busy_s"
 let m_capacity = Metrics.gauge "runtime.pool.capacity_s"
 let m_utilization = Metrics.gauge "runtime.pool.utilization"
 let m_workers = Metrics.gauge "runtime.pool.workers"
+let m_degraded = Metrics.counter "runtime.pool.degraded"
 
 let worker pool i () =
   let seen = ref 0 in
@@ -48,10 +58,15 @@ let worker pool i () =
       Mutex.unlock pool.mutex;
       (* [run_job] hands workers a wrapper that funnels exceptions into the
          job's error channel; the catch-all here only protects pool
-         liveness (a dead worker domain would deadlock the barrier) *)
+         liveness (a dead worker domain would deadlock the barrier). The
+         fault site fires before the job body, modelling a worker that
+         dies or stalls at job pickup. *)
       let t0 = Clock.now_ns () in
       Trace.with_span ~cat:"runtime" "pool.worker_job" (fun () ->
-          try job () with _ -> ());
+          try
+            Mdh_fault.Fault.hit "pool.job";
+            job ()
+          with _ -> ());
       pool.busy_ns.(i + 1) <-
         Int64.add pool.busy_ns.(i + 1) (Int64.sub (Clock.now_ns ()) t0);
       Mutex.lock pool.mutex;
@@ -61,7 +76,7 @@ let worker pool i () =
     end
   done
 
-let create ?num_domains () =
+let create ?num_domains ?watchdog_s () =
   let n =
     match num_domains with
     | Some n -> max 0 n
@@ -72,12 +87,47 @@ let create ?num_domains () =
       job_done = Condition.create (); job = None; generation = 0; active = 0;
       stop = false; stopped = false; in_job = Atomic.make false;
       busy_ns = Array.make (n + 1) 0L; jobs = Atomic.make 0;
-      created_ns = Clock.now_ns () }
+      created_ns = Clock.now_ns (); watchdog_s; is_degraded = Atomic.make false }
   in
   pool.domains <- Array.init n (fun i -> Domain.spawn (worker pool i));
   pool
 
 let num_workers t = Array.length t.domains + 1
+let degraded t = Atomic.get t.is_degraded
+
+let mark_degraded t why =
+  if not (Atomic.exchange t.is_degraded true) then begin
+    Metrics.incr m_degraded;
+    Printf.eprintf
+      "mdh: pool: %s; degrading to sequential execution for the rest of \
+       this pool's lifetime\n%!"
+      why
+  end
+
+(* barrier wait for the workers; caller holds [t.mutex]. With a watchdog,
+   a polling wait (stdlib [Condition] has no timed wait) bounds how long
+   a stuck or stalled worker can wedge the whole run; [false] = expired. *)
+let wait_workers t =
+  match t.watchdog_s with
+  | None ->
+    while t.active > 0 do
+      Condition.wait t.job_done t.mutex
+    done;
+    true
+  | Some limit ->
+    let deadline =
+      Int64.add (Clock.now_ns ()) (Int64.of_float (limit *. 1e9))
+    in
+    let alive = ref true in
+    while t.active > 0 && !alive do
+      if Int64.compare (Clock.now_ns ()) deadline > 0 then alive := false
+      else begin
+        Mutex.unlock t.mutex;
+        Unix.sleepf 0.002;
+        Mutex.lock t.mutex
+      end
+    done;
+    !alive
 
 (* time the caller's own share of a job into slot 0 (waiting at the
    barrier is excluded: only the execution of [share] counts as busy) *)
@@ -90,7 +140,7 @@ let timed_caller_share t share =
 
 let run_job t job =
   Atomic.incr t.jobs;
-  if Array.length t.domains = 0 then timed_caller_share t job
+  if Array.length t.domains = 0 || degraded t then timed_caller_share t job
   else if not (Atomic.compare_and_set t.in_job false true) then
     invalid_arg
       "Pool: nested parallel submission from inside a running job (would deadlock); \
@@ -114,16 +164,30 @@ let run_job t job =
         (* even if the caller's share raises (or an async exception lands), the
            pool must wait for its workers and reset its state — otherwise the
            stale [job]/[in_job] poison every later submission *)
-        Fun.protect
-          ~finally:(fun () ->
-            Mutex.lock t.mutex;
-            while t.active > 0 do
-              Condition.wait t.job_done t.mutex
-            done;
-            t.job <- None;
-            Mutex.unlock t.mutex;
-            Atomic.set t.in_job false)
-          (fun () -> timed_caller_share t wrapped));
+        let share_exn =
+          match timed_caller_share t wrapped with
+          | () -> None
+          | exception e -> Some e
+        in
+        Mutex.lock t.mutex;
+        let finished = wait_workers t in
+        if finished then begin
+          t.job <- None;
+          Mutex.unlock t.mutex;
+          Atomic.set t.in_job false
+        end
+        else begin
+          Mutex.unlock t.mutex;
+          (* the barrier was abandoned with a worker still out there, so
+             the pool state ([job], [in_job], [active]) must stay frozen
+             for it; the degraded flag routes every later job around the
+             wedged machinery *)
+          mark_degraded t
+            (Printf.sprintf "worker watchdog expired after %.3gs"
+               (Option.get t.watchdog_s));
+          raise Watchdog_timeout
+        end;
+        match share_exn with Some e -> raise e | None -> ());
     match Atomic.get error with Some e -> raise e | None -> ()
   end
 
@@ -296,6 +360,6 @@ let shutdown t =
     publish_metrics t
   end
 
-let with_pool ?num_domains f =
-  let pool = create ?num_domains () in
+let with_pool ?num_domains ?watchdog_s f =
+  let pool = create ?num_domains ?watchdog_s () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -8,12 +8,26 @@
 
 type t
 
-val create : ?num_domains:int -> unit -> t
+exception Watchdog_timeout
+(** Raised in the caller when a job's barrier wait exceeds the pool's
+    watchdog budget; the pool is degraded (see {!degraded}) instead of
+    left wedged. *)
+
+val create : ?num_domains:int -> ?watchdog_s:float -> unit -> t
 (** [num_domains] counts workers in addition to the caller; defaults to
-    [Domain.recommended_domain_count () - 1], at least 0. *)
+    [Domain.recommended_domain_count () - 1], at least 0. [watchdog_s]
+    bounds how long any single job may keep the caller at the barrier
+    after the caller's own share is done (default: unbounded) — see
+    {!run_job}. *)
 
 val num_workers : t -> int
 (** Total parallelism including the calling domain (>= 1). *)
+
+val degraded : t -> bool
+(** True once a watchdog expiry has flipped the pool to graceful
+    degradation: every later job runs sequentially in the caller (the
+    worker set may still be wedged behind a stuck job). Recorded on the
+    registry as [runtime.pool.degraded]. *)
 
 val run_job : t -> (unit -> unit) -> unit
 (** Run one job on every domain of the pool at once (the caller included):
@@ -22,7 +36,13 @@ val run_job : t -> (unit -> unit) -> unit
     counter). Blocks until every domain has finished. If any domain's run
     of the job raises, the first exception is re-raised in the caller after
     the barrier — never swallowed — and the pool remains usable. Nested
-    submission from inside a job raises [Invalid_argument]. *)
+    submission from inside a job raises [Invalid_argument].
+
+    With a watchdog configured, a barrier wait longer than [watchdog_s]
+    raises {!Watchdog_timeout} and permanently degrades the pool to
+    sequential execution rather than hanging the run; work the stuck
+    worker had claimed may be incomplete, so callers needing the job's
+    effects must re-run it (sequentially, the pool now guarantees that). *)
 
 val parallel_for : t -> ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
 (** Apply the body to every index in [\[lo, hi)], distributing chunks of
@@ -67,7 +87,8 @@ val shutdown : t -> unit
     Idempotent. Publishes the pool's lifetime totals onto the
     [Mdh_obs.Metrics] registry ([runtime.pool.jobs], [runtime.pool.busy_s],
     [runtime.pool.capacity_s], [runtime.pool.utilization],
-    [runtime.pool.workers]), accumulating across pools. *)
+    [runtime.pool.workers]), accumulating across pools. Blocks on a
+    degraded pool until its stuck worker finishes its current job. *)
 
-val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+val with_pool : ?num_domains:int -> ?watchdog_s:float -> (t -> 'a) -> 'a
 (** Create, run, and always shut down. *)

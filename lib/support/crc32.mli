@@ -1,0 +1,16 @@
+(** CRC-32 checksums (IEEE 802.3 polynomial) for framing crash-safe
+    on-disk records: a torn append or corrupted byte changes the
+    checksum, so loaders can reject the record instead of trusting it. *)
+
+val string : string -> int
+(** Checksum of a whole string (in [0, 0xFFFFFFFF]). *)
+
+val update : int -> string -> int
+(** Continue a running checksum with more bytes ([string s] =
+    [update 0 s]). *)
+
+val to_hex : int -> string
+(** Fixed-width 8-digit lowercase hex. *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}; [None] on malformed input. *)

@@ -6,6 +6,11 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(* the full generator state is one int64, so checkpoint/resume of any
+   stochastic search can round-trip it exactly *)
+let state t = t.state
+let of_state state = { state }
+
 (* splitmix64 finalizer: Steele, Lea & Flood, "Fast splittable pseudorandom
    number generators" (OOPSLA 2014). *)
 let mix z =

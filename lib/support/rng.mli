@@ -12,6 +12,12 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state : t -> int64
+(** The complete internal state, for exact checkpointing. *)
+
+val of_state : int64 -> t
+(** A generator that continues exactly where {!state} was captured. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a statistically independent child
     generator; used to give sub-components their own streams. *)

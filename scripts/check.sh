@@ -10,7 +10,12 @@
 #     by git again (they were purged in the tuning-engine PR and are
 #     covered by .gitignore),
 #   - observability run artifacts (BENCH_obs.json, *.trace.json) are
-#     tracked: they are per-run outputs, not sources.
+#     tracked: they are per-run outputs, not sources,
+#   - tuning run artifacts (checkpoints, quarantined databases, tuning.db)
+#     are tracked,
+#   - the chaos stage fails: tuning under fault injection must degrade
+#     gracefully (same schedule, exit 0) and a deadline-suspended tune
+#     must resume bit-identically.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,6 +36,14 @@ if [ -n "$tracked_obs" ]; then
     exit 1
 fi
 
+tracked_tuning=$(git ls-files -- '*.ckpt' '*.corrupt' 'tuning.db' '**/tuning.db' || true)
+if [ -n "$tracked_tuning" ]; then
+    echo "error: tuning run artifacts (checkpoints/quarantines/dbs) are tracked by git:" >&2
+    echo "$tracked_tuning" | head -10 >&2
+    echo "(run: git rm --cached <file>; they are covered by .gitignore)" >&2
+    exit 1
+fi
+
 dune build
 dune runtest
 
@@ -43,5 +56,42 @@ dune exec bin/mdhc.exe -- check --strict --file examples/mbbs.mdh \
     -P I=16 -P J=16 > /dev/null
 dune exec bin/mdhc.exe -- check --strict --file examples/mcc.mdh \
     -P N=1 -P P=112 -P Q=112 -P K=64 -P R=7 -P S=7 -P C=3 > /dev/null
+
+# chaos stage: tuning under deterministic fault injection on each site
+# must degrade gracefully — exit 0 and the fault-free schedule
+chaos_dir=$(mktemp -d)
+trap 'rm -rf "$chaos_dir"' EXIT
+
+dune exec bin/mdhc.exe -- tune matvec --no-cache --budget 40 \
+    --strategy random > "$chaos_dir/plain.txt" 2> /dev/null
+grep -v 'wall)\|^cost model:' "$chaos_dir/plain.txt" > "$chaos_dir/plain.cmp"
+for spec in 'cost.eval:raise@10' 'pool.job:raise@1' 'db.read:raise@1'; do
+    MDH_FAULTS="$spec" dune exec bin/mdhc.exe -- tune matvec --no-cache \
+        --budget 40 --strategy random --parallel \
+        > "$chaos_dir/chaos.txt" 2> /dev/null || {
+        echo "error: tune under MDH_FAULTS=$spec failed" >&2; exit 1; }
+    grep -v 'wall)\|^cost model:' "$chaos_dir/chaos.txt" > "$chaos_dir/chaos.cmp"
+    diff -u "$chaos_dir/plain.cmp" "$chaos_dir/chaos.cmp" > /dev/null || {
+        echo "error: MDH_FAULTS=$spec changed the tuned schedule" >&2; exit 1; }
+done
+
+# crash/resume stage: a deadline-suspended anneal (exit 3) resumed to
+# completion must be bit-identical to the uninterrupted run
+dune exec bin/mdhc.exe -- tune matvec --strategy anneal --budget 60 --seed 9 \
+    --tuning-db "$chaos_dir/ref.db" > "$chaos_dir/ref.txt" 2> /dev/null
+rc=0
+dune exec bin/mdhc.exe -- tune matvec --strategy anneal --budget 60 --seed 9 \
+    --tuning-db "$chaos_dir/resume.db" --checkpoint "$chaos_dir/tune.ckpt" \
+    --deadline 0.0000001 > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "error: deadline suspension exited $rc, expected 3" >&2; exit 1
+fi
+dune exec bin/mdhc.exe -- tune matvec --strategy anneal --budget 60 --seed 9 \
+    --tuning-db "$chaos_dir/resume.db" --checkpoint "$chaos_dir/tune.ckpt" \
+    --resume > "$chaos_dir/resumed.txt" 2> /dev/null
+grep -v 'wall)\|^cost model:' "$chaos_dir/ref.txt" > "$chaos_dir/ref.cmp"
+grep -v 'wall)\|^cost model:' "$chaos_dir/resumed.txt" > "$chaos_dir/resumed.cmp"
+diff -u "$chaos_dir/ref.cmp" "$chaos_dir/resumed.cmp" > /dev/null || {
+    echo "error: resumed tune differs from the uninterrupted run" >&2; exit 1; }
 
 echo "check.sh: OK"

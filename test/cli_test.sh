@@ -62,7 +62,56 @@ grep -q 'result check: OK' "$tmp/run.txt" || fail "run result check failed"
 # --- mdhc check: the static diagnostics engine ---
 
 # this PR's version
-grep -q '^1\.2\.0' "$tmp/version.txt" || fail "--version is not 1.2.0"
+grep -q '^1\.3\.0' "$tmp/version.txt" || fail "--version is not 1.3.0"
+
+# --- fault injection and checkpoint/resume contracts ---
+
+# a bad --inject spec is rejected with a non-zero exit
+if "$MDHC" tune matmul --no-cache --budget 10 --inject 'bogus.site:raise' \
+  >/dev/null 2>&1; then
+  fail "bad --inject spec exited 0"
+fi
+# ... and so is a bad MDH_FAULTS spec, for any command
+if MDH_FAULTS='cost.eval:explode' "$MDHC" list >/dev/null 2>&1; then
+  fail "bad MDH_FAULTS spec exited 0"
+fi
+
+# a one-shot injected cost fault in a parallel fan-out degrades
+# gracefully: same schedule as the fault-free run, exit 0 (sequential
+# searches have no fallback — an injected raise there is the crash case,
+# covered by the checkpoint/resume contract below)
+"$MDHC" tune matmul --no-cache --budget 40 --strategy random \
+  >"$tmp/rand_ref.txt" 2>/dev/null || fail "random-strategy reference failed"
+"$MDHC" tune matmul --no-cache --budget 40 --strategy random --parallel \
+  --inject 'cost.eval:raise@10' >"$tmp/chaos.txt" 2>/dev/null ||
+  fail "tune under one-shot injection failed"
+# the cost-model line is process-local accounting (a degraded retry
+# re-evaluates configs), so exclude it like the wall-clock timings
+grep -v 'wall)\|^cost model:' "$tmp/rand_ref.txt" >"$tmp/rand_ref.cmp"
+grep -v 'wall)\|^cost model:' "$tmp/chaos.txt" >"$tmp/chaos.cmp"
+diff -u "$tmp/rand_ref.cmp" "$tmp/chaos.cmp" >&2 ||
+  fail "one-shot injection changed the tuned schedule"
+
+# an immediate deadline suspends annealing to a checkpoint with exit 3,
+# and --resume completes bit-identically to an uninterrupted run
+"$MDHC" tune matmul --strategy anneal --budget 60 --seed 9 \
+  --tuning-db "$tmp/ref.db" >"$tmp/anneal_ref.txt" 2>/dev/null ||
+  fail "reference anneal tune failed"
+rc=0
+"$MDHC" tune matmul --strategy anneal --budget 60 --seed 9 \
+  --tuning-db "$tmp/resume.db" --checkpoint "$tmp/tune.ckpt" \
+  --deadline 0.0000001 >/dev/null 2>"$tmp/suspend.err" || rc=$?
+[ "$rc" -eq 3 ] || fail "deadline suspension did not exit 3 (got $rc)"
+[ -f "$tmp/tune.ckpt" ] || fail "suspension left no checkpoint"
+grep -q 'rerun with --resume' "$tmp/suspend.err" || fail "no resume hint on stderr"
+"$MDHC" tune matmul --strategy anneal --budget 60 --seed 9 \
+  --tuning-db "$tmp/resume.db" --checkpoint "$tmp/tune.ckpt" --resume \
+  >"$tmp/anneal_resumed.txt" 2>/dev/null || fail "resume after suspension failed"
+grep -v 'wall)\|^cost model:' "$tmp/anneal_ref.txt" >"$tmp/anneal_ref.cmp"
+grep -v 'wall)\|^cost model:' "$tmp/anneal_resumed.txt" >"$tmp/anneal_resumed.cmp"
+diff -u "$tmp/anneal_ref.cmp" "$tmp/anneal_resumed.cmp" >&2 ||
+  fail "resumed tune differs from uninterrupted run"
+[ ! -f "$tmp/tune.ckpt" ] || fail "checkpoint not deleted after completion"
 
 # a clean catalogue workload checks out with exit 0
 "$MDHC" check matmul >"$tmp/check_ok.txt" 2>&1 || fail "check matmul exited non-zero"

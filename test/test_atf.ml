@@ -271,7 +271,11 @@ let test_tuning_db_roundtrip () =
         warm.Tuner.estimated_s;
       (* persistence: a fresh handle on the same file still recalls *)
       let reloaded =
-        match tune (Tuning_db.open_db (Tuning_db.path db)) with
+        match
+          tune
+            (Tuning_db.open_db
+               (Option.get (Tuning_db.path db)))
+        with
         | Ok t -> t
         | Error e -> Alcotest.fail e
       in

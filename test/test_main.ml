@@ -9,6 +9,7 @@ let () =
       Test_machine.suite;
       Test_lowering.suite;
       Test_atf.suite;
+      Test_fault.suite;
       Test_runtime.suite;
       Test_baselines.suite;
       Test_workloads.suite;
