@@ -24,7 +24,8 @@ let usage () =
     "usage: main.exe [--no-cache] [--tuning-db PATH] [--metrics] [--trace FILE]\n\
     \                [figure3|figure4 [gpu|cpu]|failure-matrix|prl-study|\n\
     \                 ablation-openacc-tiling|ablation-tiling|\n\
-    \                 ablation-reduction-parallel|ablation-tuning-budget|micro]\n\
+    \                 ablation-reduction-parallel|ablation-tuning-budget|micro|\n\
+    \                 plan-exec]\n\
     \n\
     \  --metrics     print the observability summary (pool utilization, per-\n\
     \                workload cache hit/miss) and write BENCH_obs.json\n\
@@ -189,5 +190,6 @@ let () =
   | [ "ablation-reduction-parallel" ] -> run Mdh_reports.Ablations.reduction_parallel
   | [ "ablation-tuning-budget" ] -> run Mdh_reports.Ablations.tuning_budget
   | [ "micro" ] -> run Micro.run
+  | [ "plan-exec" ] -> run Plan_exec.run
   | [ "calibrate" ] -> run Calibrate.run
   | _ -> usage ()

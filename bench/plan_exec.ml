@@ -1,0 +1,111 @@
+(* Plan-executor benchmark: the pre-refactor chunking strategy against the
+   plan walker's multi-dimension decomposition and the flat-array fast
+   path, on the workloads the fast path specialises.
+
+   Three variants per workload, all through Exec.run on the same pool:
+   - legacy:    untiled schedule, only the lowest-indexed parallelisable
+                dimension distributed, fast path off — the shape of work
+                the pre-refactor executor produced;
+   - plan-tiled: cache-sized tiles and every parallelisable dimension
+                distributed, fast path off — the plan walker's own gain;
+   - fastpath:  the same schedule with kernel dispatch on.
+
+   Results go to stdout and BENCH_plan_exec.json (per-variant best-of-N
+   seconds plus speedups over legacy); the JSON is a run artifact, not a
+   source — CI uploads it, .gitignore excludes it. *)
+
+module W = Mdh_workloads.Workload
+module Schedule = Mdh_lowering.Schedule
+module Lower = Mdh_lowering.Lower
+module Pool = Mdh_runtime.Pool
+module Exec = Mdh_runtime.Exec
+module J = Mdh_obs.Json
+
+let cpu = Mdh_machine.Device.xeon6140_like
+
+let best_of n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let _, t = Mdh_support.Util.time_it f in
+    if t < !best then best := t
+  done;
+  !best
+
+let legacy_schedule md =
+  match Lower.parallelisable_dims md with
+  | [] -> Schedule.sequential md
+  | d :: _ ->
+    { (Schedule.sequential md) with
+      Schedule.parallel_dims = [ d ];
+      Schedule.used_layers = [ 0 ] }
+
+let tiled_schedule md =
+  { (Lower.mdh_default md cpu) with Schedule.used_layers = [ 0 ] }
+
+let bench_one pool (w : W.t) params =
+  let md = W.to_md_hom w params in
+  let env = w.W.gen params ~seed:17 in
+  let size =
+    String.concat "x" (Array.to_list (Array.map string_of_int md.Mdh_core.Md_hom.sizes))
+  in
+  let time ?(fastpath = false) sched =
+    let run () =
+      match Exec.run ~fastpath pool md sched env with
+      | Ok e -> e
+      | Error e -> failwith (w.W.wl_name ^ ": " ^ e)
+    in
+    (* correctness first, then best-of-3 wall clock *)
+    let got = run () in
+    let expected = Mdh_core.Semantics.exec md env in
+    List.iter
+      (fun (o : Mdh_core.Md_hom.output) ->
+        let data e =
+          Mdh_tensor.Buffer.data
+            (Mdh_tensor.Buffer.env_find e o.Mdh_core.Md_hom.out_name)
+        in
+        if
+          not
+            (Mdh_tensor.Dense.approx_equal ~rel:1e-4 ~abs:1e-5 (data got)
+               (data expected))
+        then failwith (w.W.wl_name ^ ": variant result mismatch"))
+      md.Mdh_core.Md_hom.outputs;
+    best_of 3 run
+  in
+  let legacy_s = time (legacy_schedule md) in
+  let tiled_s = time (tiled_schedule md) in
+  let fast_s = time ~fastpath:true (tiled_schedule md) in
+  Printf.printf "%-8s %-12s  legacy %.4fs  plan-tiled %.4fs (%.2fx)  fastpath %.4fs (%.1fx)\n%!"
+    (String.lowercase_ascii w.W.wl_name)
+    size legacy_s tiled_s (legacy_s /. tiled_s) fast_s (legacy_s /. fast_s);
+  J.obj
+    [ ("name", J.quote (String.lowercase_ascii w.W.wl_name));
+      ("size", J.quote size);
+      ("legacy_s", J.number legacy_s);
+      ("plan_tiled_s", J.number tiled_s);
+      ("fastpath_s", J.number fast_s);
+      ("plan_tiled_speedup", J.number (legacy_s /. tiled_s));
+      ("fastpath_speedup", J.number (legacy_s /. fast_s)) ]
+
+let run () =
+  print_endline "[plan-exec] plan walker vs pre-refactor chunking (host pool)";
+  let cases =
+    [ ("matmul", [ ("I", 48); ("J", 48); ("K", 48) ]);
+      ("matvec", [ ("I", 512); ("K", 512) ]);
+      ("dot", [ ("K", 200_000) ]) ]
+  in
+  let rows =
+    Pool.with_pool (fun pool ->
+        List.map
+          (fun (name, params) ->
+            match Mdh_workloads.Catalog.find name with
+            | Some w -> bench_one pool w params
+            | None -> failwith ("unknown workload " ^ name))
+          cases)
+  in
+  let json =
+    J.obj [ ("schema", J.quote "mdh-bench-plan-exec/1"); ("workloads", J.arr rows) ]
+  in
+  Out_channel.with_open_text "BENCH_plan_exec.json" (fun oc ->
+      output_string oc json;
+      output_char oc '\n');
+  print_endline "[plan-exec] wrote BENCH_plan_exec.json"

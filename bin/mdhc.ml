@@ -18,11 +18,13 @@
      mdhc tune matmul --inject 'cost.eval:raise@40'   (chaos testing)
      mdhc check                          (analyze the whole catalogue)
      mdhc check matvec --strict
-     mdhc check --file examples/mcc.mdh -P N=1 ... --json *)
+     mdhc check --file examples/mcc.mdh -P N=1 ... --json
+     mdhc plan matvec --device cpu      (print the executable plan IR)
+     mdhc plan --digest                 (stable structural fingerprints) *)
 
 open Cmdliner
 
-let version = "1.3.0"
+let version = "1.4.0"
 
 module W = Mdh_workloads.Workload
 module Device = Mdh_machine.Device
@@ -183,7 +185,8 @@ let metrics_arg =
    this invocation's workload *)
 let setup_obs ~trace =
   if trace <> None then Mdh_obs.Trace.set_enabled true;
-  Mdh_atf.Cost_cache.reset_stats ()
+  Mdh_atf.Cost_cache.reset_stats ();
+  Mdh_lowering.Plan_cache.reset_stats ()
 
 (* the summary goes to stdout after the normal output; the trace-file
    notice goes to stderr so stdout stays bit-identical with --trace off *)
@@ -206,6 +209,7 @@ let finish_obs ~trace ~metrics =
 let setup_cache ~no_cache ~tuning_db =
   if no_cache then begin
     Mdh_atf.Cost_cache.set_enabled false;
+    Mdh_lowering.Plan_cache.set_enabled false;
     Mdh_atf.Tuning_db.set_ambient None
   end
   else
@@ -268,7 +272,7 @@ let show_cmd =
           match Mdh_atf.Tuner.tune md dev Cost.tuned_codegen with
           | Error e -> or_die (Error e)
           | Ok t -> (
-            match Mdh_lowering.Plan.build md dev t.Mdh_atf.Tuner.schedule with
+            match Mdh_lowering.Plan_cache.build md dev t.Mdh_atf.Tuner.schedule with
             | Error e -> or_die (Error e)
             | Ok plan ->
               Format.printf "@.execution plan on %s (parallelism %d):@.%a@."
@@ -567,6 +571,94 @@ let check_cmd =
       const run $ workload_opt_arg $ file_arg $ params_arg $ json_arg
       $ strict_arg $ metrics_arg)
 
+let plan_cmd =
+  let doc =
+    "Print the execution-plan IR — the single structure the executor, cost \
+     model, simulator and code generators all consume — for one workload (or \
+     the whole catalogue) on one device (or both). Schedules default to the \
+     deterministic per-device lowering default, so the output is stable; \
+     $(b,--schedule) plans an explicit schedule instead, and $(b,--digest) \
+     prints one structural fingerprint per line (pinned by the repository's \
+     plan-consistency check)."
+  in
+  let workload_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let device_opt_arg =
+    Arg.(value & opt (some string) None & info [ "device"; "d" ] ~docv:"gpu|cpu")
+  in
+  let schedule_arg =
+    let doc =
+      "Plan this explicit schedule (the $(b,tiles=..)$(b, parallel=[..]) \
+       $(b,layers=[..]) syntax that mdhc tune prints) instead of the \
+       per-device default."
+    in
+    Arg.(value & opt (some string) None & info [ "schedule" ] ~doc ~docv:"SCHED")
+  in
+  let digest_arg =
+    let doc = "Print only $(i,workload device digest) lines." in
+    Arg.(value & flag & info [ "digest" ] ~doc)
+  in
+  let run workload device input schedule digest no_cache metrics =
+    if no_cache then Mdh_lowering.Plan_cache.set_enabled false;
+    Mdh_lowering.Plan_cache.reset_stats ();
+    let workloads =
+      match workload with
+      | Some name -> [ or_die (find_workload name) ]
+      | None -> Mdh_workloads.Catalog.all
+    in
+    let devices =
+      match device with
+      | Some d -> [ or_die (device_of_string d) ]
+      | None -> [ Device.xeon6140_like; Device.a100_like ]
+    in
+    List.iter
+      (fun (w : W.t) ->
+        let params = or_die (params_of w input) in
+        let md = W.to_md_hom w params in
+        List.iter
+          (fun (dev : Device.t) ->
+            let sched =
+              match schedule with
+              | Some s -> or_die (Schedule.of_string s)
+              | None -> Mdh_lowering.Lower.mdh_default md dev
+            in
+            match Mdh_lowering.Plan_cache.build md dev sched with
+            | Error e ->
+              or_die
+                (Error
+                   (Printf.sprintf "%s on %s: %s"
+                      (String.lowercase_ascii w.W.wl_name)
+                      dev.Device.device_name e))
+            | Ok plan ->
+              let tag =
+                match dev.Device.kind with Device.Gpu -> "gpu" | Device.Cpu -> "cpu"
+              in
+              if digest then
+                Printf.printf "%-12s %-4s %s\n"
+                  (String.lowercase_ascii w.W.wl_name)
+                  tag
+                  (Mdh_lowering.Plan.digest plan)
+              else
+                Format.printf "%s on %s (parallelism %d, digest %s):@.%a@.@."
+                  (String.lowercase_ascii w.W.wl_name)
+                  dev.Device.device_name
+                  (Mdh_lowering.Plan.parallelism plan)
+                  (Mdh_lowering.Plan.digest plan)
+                  Mdh_lowering.Plan.pp plan)
+          devices)
+      workloads;
+    if metrics then begin
+      let summary = Mdh_obs.Metrics.summary () in
+      if summary <> "" then print_string summary
+    end
+  in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(
+      const run $ workload_opt_arg $ device_opt_arg
+      $ Arg.(value & opt string "test" & info [ "input"; "i" ] ~docv:"1|2|test")
+      $ schedule_arg $ digest_arg $ no_cache_arg $ metrics_arg)
+
 let () =
   (match Mdh_fault.Fault.arm_from_env () with
   | Ok _ -> ()
@@ -578,5 +670,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; devices_cmd; show_cmd; tune_cmd; compare_cmd; run_cmd;
-            compile_cmd; codegen_cmd; check_cmd ]))
+          [ list_cmd; devices_cmd; show_cmd; plan_cmd; tune_cmd; compare_cmd;
+            run_cmd; compile_cmd; codegen_cmd; check_cmd ]))

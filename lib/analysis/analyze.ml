@@ -7,6 +7,7 @@ module Combine = Mdh_combine.Combine
 module D = Mdh_directive.Directive
 module Validate = Mdh_directive.Validate
 module Schedule = Mdh_lowering.Schedule
+module Device = Mdh_machine.Device
 module Parser = Mdh_pragma.Parser
 module Token = Mdh_pragma.Token
 module Lexer = Mdh_pragma.Lexer
@@ -584,6 +585,55 @@ let lint_pass b sp (elab : Validate.elab) =
       elab.Validate.el_inps
   end
 
+(* --- pass 7: plan-level lints (MDH113) ---------------------------------- *)
+
+(* The PRL-study diagnosis (paper Section 5.2), read off the shared plan
+   IR: when only the concatenation dimensions are parallelised — all an
+   OpenMP-style [parallel for] annotation expresses — a reduction-heavy
+   computation leaves most of a device idle. Compare the cc-only plan's
+   parallelism with the plan the lowering actually picks on each modelled
+   device; a large gap means reduction parallelisation carries the
+   workload. *)
+let plan_pass b sp (dir : D.t) =
+  match Mdh_directive.Transform.to_md_hom dir with
+  | Error _ -> ()
+  | Ok md ->
+    let hint_for dev =
+      let full = Mdh_lowering.Lower.mdh_default md dev in
+      let cc_only =
+        { full with
+          Schedule.parallel_dims =
+            List.filter
+              (fun d -> not (Combine.is_reduction md.Mdh_core.Md_hom.combine_ops.(d)))
+              full.Schedule.parallel_dims }
+      in
+      match
+        ( Mdh_lowering.Plan_cache.build md dev full,
+          Mdh_lowering.Plan_cache.build md dev cc_only )
+      with
+      | Ok fp, Ok cp ->
+        let fpar = Mdh_lowering.Plan.parallelism fp in
+        let cpar = Mdh_lowering.Plan.parallelism cp in
+        if fpar >= 4 * max 1 cpar then
+          Option.map
+            (fun (td, _, _) -> (dev, td, fpar, cpar))
+            (Mdh_lowering.Plan.tree fp)
+        else None
+      | _ -> None
+    in
+    (match
+       List.find_map hint_for [ Device.xeon6140_like; Device.a100_like ]
+     with
+    | Some (dev, td, fpar, cpar) ->
+      let dims = md.Mdh_core.Md_hom.dims in
+      Diag.emit b ?span:(sp.op_span td) ~subject:dims.(td) Diag.Hint "MDH113"
+        "parallelising only the concatenation dimensions achieves %d-way \
+         parallelism on %s, but the plan reaches %d-way by tree-reducing \
+         loop %S: a directive-level [parallel for] annotation would leave \
+         the device underused"
+        cpar dev.Device.device_name fpar dims.(td)
+    | None -> ())
+
 (* --- driver ------------------------------------------------------------- *)
 
 let of_validate_error sp (e : Validate.error) =
@@ -617,6 +667,7 @@ let directive ?spans ?(verify_ops = true) (dir : D.t) =
   | Ok elab ->
     if verify_ops then opcheck_pass b sp elab;
     lint_pass b sp elab;
+    plan_pass b sp dir;
     Diag.contents b
   | Error e -> (
     (* the analyzer's passes mirror Validate's checks, so its first error

@@ -48,7 +48,8 @@ let code_table =
     ("MDH103", Warning, "no dimension of the computation is parallelisable");
     ("MDH110", Hint, "loop dimension has extent 1");
     ("MDH111", Hint, "innermost loop is not the stride-1 dimension");
-    ("MDH112", Hint, "verified operator property is not declared") ]
+    ("MDH112", Hint, "verified operator property is not declared");
+    ("MDH113", Hint, "device parallelism relies on reduction parallelisation") ]
 
 let describe_code code =
   List.find_map

@@ -44,5 +44,16 @@ val generate :
 val kernel_name : Mdh_core.Md_hom.t -> string
 (** The emitted kernel's function name. *)
 
-val launch_config : Mdh_core.Md_hom.t -> Mdh_lowering.Schedule.t -> int * int
-(** (work-groups, work-items per group) for the generated kernel. *)
+val launch_config : Mdh_lowering.Plan.t -> int * int
+(** (work-groups, work-items per group) for the generated kernel: the
+    plan's distributed points over its tree-reduce cooperating items. *)
+
+type dim_kind =
+  | Par_cc  (** parallel concatenation: decomposed from the hardware id *)
+  | Par_red_tree  (** the tree-reduced pw dimension *)
+  | Seq_cc  (** sequential concatenation: tiled loops *)
+  | Seq_red of Mdh_combine.Combine.custom_fn  (** sequential pw: accumulate *)
+  | Seq_scan of Mdh_combine.Combine.custom_fn  (** ps: running scan *)
+
+val classify : Mdh_core.Md_hom.t -> Mdh_lowering.Plan.t -> dim_kind array
+(** Per-dimension execution kind, read off the plan's level roles. *)

@@ -1,5 +1,6 @@
 module Md_hom = Mdh_core.Md_hom
 module Combine = Mdh_combine.Combine
+module Plan = Mdh_lowering.Plan
 
 let reduction_clause_op (fn : Combine.custom_fn) =
   if fn.Combine.builtin then
@@ -16,7 +17,18 @@ let generate (md : Md_hom.t) =
   | [] | _ :: _ :: _ ->
     Error (Kernel.Unsupported "the Listing 2 shape has exactly one output buffer")
   | [ output ] ->
-    let reductions = Md_hom.reduction_dims md in
+    (* loop structure comes from the (device-free, all-sequential) plan:
+       the same IR the kernel backends and the executor consume *)
+    let plan = Plan.sequential md in
+    let rank = Md_hom.rank md in
+    let reductions =
+      List.filter
+        (fun d ->
+          match Plan.role plan d with
+          | Plan.Role_accumulate | Plan.Role_scan -> true
+          | _ -> false)
+        (List.init rank Fun.id)
+    in
     if List.length reductions > 1 then
       Error (Kernel.Unsupported "the Listing 2 shape has at most one reduction loop")
     else begin
@@ -70,7 +82,11 @@ let generate (md : Md_hom.t) =
       in
       let close () = decr depth; emit "}" in
       (* outer cc loops, the first annotated *)
-      let cc = Md_hom.cc_dims md in
+      let cc =
+        List.filter
+          (fun d -> Plan.role plan d = Plan.Role_seq)
+          (List.init rank Fun.id)
+      in
       List.iteri
         (fun i d ->
           if i = 0 then emit "#pragma omp parallel for";

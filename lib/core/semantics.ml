@@ -133,41 +133,53 @@ let exec (md : Md_hom.t) env =
     md.outputs;
   env
 
-(* The MDH decomposition law, executably: split each dimension into tiles,
-   evaluate boxes, recombine with the dimension's combine operator. *)
-let eval_tiled (md : Md_hom.t) env ~tile_sizes =
+(* The MDH decomposition law over one box: split each dimension of the box
+   into tiles, evaluate sub-boxes, recombine with the dimension's combine
+   operator. The returned tensor covers the whole box (cc dims keep their
+   box extent, pw dims collapse, ps dims keep extent); the caller writes it
+   through [write_output ~lo]. *)
+let eval_box_tiled (md : Md_hom.t) env (o : Md_hom.output) ~lo ~sz ~tile_sizes =
   let rank = Md_hom.rank md in
   if Array.length tile_sizes <> rank then
-    err "eval_tiled: %d tile sizes for rank-%d computation" (Array.length tile_sizes) rank;
+    err "eval_box_tiled: %d tile sizes for rank-%d computation"
+      (Array.length tile_sizes) rank;
   Array.iteri
-    (fun d t -> if t <= 0 then err "eval_tiled: non-positive tile size in dimension %d" d)
+    (fun d t ->
+      if t <= 0 then err "eval_box_tiled: non-positive tile size in dimension %d" d)
     tile_sizes;
+  let rec go lo sz d =
+    if d = rank then eval_box md env o ~lo ~sz
+    else begin
+      let tile = min tile_sizes.(d) sz.(d) in
+      let combined = ref None in
+      let pos = ref 0 in
+      while !pos < sz.(d) do
+        let chunk = min tile (sz.(d) - !pos) in
+        let lo' = Array.copy lo and sz' = Array.copy sz in
+        lo'.(d) <- lo.(d) + !pos;
+        sz'.(d) <- chunk;
+        let partial = go lo' sz' (d + 1) in
+        (combined :=
+           match !combined with
+           | None -> Some partial
+           | Some acc ->
+             Some (Combine.combine_partials md.combine_ops.(d) ~dim:d acc partial));
+        pos := !pos + chunk
+      done;
+      Option.get !combined
+    end
+  in
+  go (Array.copy lo) (Array.copy sz) 0
+
+(* The same law over the whole iteration space. *)
+let eval_tiled (md : Md_hom.t) env ~tile_sizes =
+  let rank = Md_hom.rank md in
   let env = alloc_outputs md env in
   List.iter
     (fun (o : Md_hom.output) ->
-      let rec go lo sz d =
-        if d = rank then eval_box md env o ~lo ~sz
-        else begin
-          let tile = min tile_sizes.(d) sz.(d) in
-          let combined = ref None in
-          let pos = ref 0 in
-          while !pos < sz.(d) do
-            let chunk = min tile (sz.(d) - !pos) in
-            let lo' = Array.copy lo and sz' = Array.copy sz in
-            lo'.(d) <- lo.(d) + !pos;
-            sz'.(d) <- chunk;
-            let partial = go lo' sz' (d + 1) in
-            (combined :=
-               match !combined with
-               | None -> Some partial
-               | Some acc ->
-                 Some (Combine.combine_partials md.combine_ops.(d) ~dim:d acc partial));
-            pos := !pos + chunk
-          done;
-          Option.get !combined
-        end
+      let tensor =
+        eval_box_tiled md env o ~lo:(Array.make rank 0) ~sz:md.sizes ~tile_sizes
       in
-      let tensor = go (Array.make rank 0) md.sizes 0 in
       write_output env md o tensor)
     md.outputs;
   env

@@ -48,6 +48,21 @@ val eval_box :
     {!Mdh_combine.Combine.combine_partials} — the primitive that parallel
     executors build on. *)
 
+val eval_box_tiled :
+  Md_hom.t ->
+  Buffer.env ->
+  Md_hom.output ->
+  lo:int array ->
+  sz:int array ->
+  tile_sizes:int array ->
+  Dense.t
+(** {!eval_box} with the decomposition law applied inside the box: the box
+    is split per-dimension into [tile_sizes]-sized sub-boxes, evaluated,
+    and recombined with the dimension's combine operator. Equal to
+    {!eval_box} for any tile sizes; the plan-driven executor uses it to
+    honor cache tiles inside each distributed box. The box must be
+    non-empty. *)
+
 val write_output :
   Buffer.env -> Md_hom.t -> Md_hom.output -> ?lo:int array -> Dense.t -> unit
 (** Write a combined result tensor into the output buffer through the

@@ -43,11 +43,8 @@ let unit_stride_access (md : Md_hom.t) d =
 
 let clamp_frac x = Float.min 1.0 (Float.max 1e-4 x)
 
-let analyse ?(include_transfers = false) (md : Md_hom.t) (dev : Device.t) cg sched =
-  match Schedule.legal md dev sched with
-  | Error _ as e -> e
-  | Ok () ->
-    let sched = Schedule.clamp md sched in
+let analyse_plan ?(include_transfers = false) (md : Md_hom.t) (dev : Device.t) cg
+    (plan : Plan.t) =
     let rank = Md_hom.rank md in
     let points = float_of_int (Md_hom.total_points md) in
     (* every iteration point also feeds one combine application per
@@ -61,20 +58,10 @@ let analyse ?(include_transfers = false) (md : Md_hom.t) (dev : Device.t) cg sch
       points *. float_of_int (max 1 (Md_hom.flops_per_point md) + fold_ops)
     in
 
-    (* --- parallelism --- *)
-    let usable_units =
-      List.fold_left (fun acc l -> acc * dev.Device.layers.(l).Device.max_units) 1
-        sched.used_layers
-    in
-    let par_iters = Schedule.parallel_iterations md sched in
-    let achieved_units =
-      if par_iters = 0 || usable_units = 1 then 1
-      else begin
-        (* time stretches by ceil(P/U); speedup = P / ceil(P/U) *)
-        let chunks = Util.ceil_div par_iters usable_units in
-        max 1 (par_iters / chunks)
-      end
-    in
+    (* --- parallelism: the plan already did the counting --- *)
+    let parallel_dims = plan.Plan.parallel_dims in
+    let used_layers = plan.Plan.used_layers in
+    let achieved_units = Plan.parallelism plan in
     let parallel_fraction =
       clamp_frac
         (float_of_int achieved_units /. float_of_int dev.Device.compute_saturation_units)
@@ -82,10 +69,15 @@ let analyse ?(include_transfers = false) (md : Md_hom.t) (dev : Device.t) cg sch
 
     (* --- vectorisation quality --- *)
     let innermost_layer = Array.length dev.Device.layers - 1 in
+    let innermost_parallel_dim =
+      List.fold_left
+        (fun acc d -> match acc with Some m when m > d -> acc | _ -> Some d)
+        None parallel_dims
+    in
     let vector_eff =
-      if not (List.mem innermost_layer sched.used_layers) then 1.0
+      if not (List.mem innermost_layer used_layers) then 1.0
       else
-        match Schedule.innermost_parallel_dim sched with
+        match innermost_parallel_dim with
         | None -> 1.0
         | Some vd ->
           let reduction_penalty =
@@ -100,10 +92,10 @@ let analyse ?(include_transfers = false) (md : Md_hom.t) (dev : Device.t) cg sch
       List.fold_left
         (fun acc d ->
           if Combine.is_reduction md.combine_ops.(d) then acc else acc * md.sizes.(d))
-        1 sched.parallel_dims
+        1 parallel_dims
     in
     let par_reduction_dims =
-      List.filter (fun d -> Combine.is_reduction md.combine_ops.(d)) sched.parallel_dims
+      List.filter (fun d -> Combine.is_reduction md.combine_ops.(d)) parallel_dims
     in
     let result_cells = float_of_int (Shape.num_elements (Md_hom.result_shape md)) in
     let out_elem_bytes =
@@ -149,7 +141,7 @@ let analyse ?(include_transfers = false) (md : Md_hom.t) (dev : Device.t) cg sch
     let flops = (base_flops *. !scan_factor) +. !combine_flops in
 
     (* --- memory traffic --- *)
-    let box = sched.tile_sizes in
+    let box = plan.Plan.tile_sizes in
     let n_tiles =
       let acc = ref 1 in
       for d = 0 to rank - 1 do
@@ -207,9 +199,13 @@ let analyse ?(include_transfers = false) (md : Md_hom.t) (dev : Device.t) cg sch
         serial_ops = 0.0 }
     in
     let breakdown = Roofline.estimate dev efficiency stats in
-    Ok
-      { stats; efficiency; breakdown; achieved_units;
-        tile_working_set_bytes = working_set; n_tiles }
+    { stats; efficiency; breakdown; achieved_units;
+      tile_working_set_bytes = working_set; n_tiles }
+
+let analyse ?include_transfers (md : Md_hom.t) (dev : Device.t) cg sched =
+  Result.map
+    (fun plan -> analyse_plan ?include_transfers md dev cg plan)
+    (Plan_cache.build md dev sched)
 
 let seconds ?include_transfers md dev cg sched =
   Result.map

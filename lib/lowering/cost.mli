@@ -42,6 +42,19 @@ type analysis = {
   n_tiles : int;
 }
 
+val analyse_plan :
+  ?include_transfers:bool ->
+  Mdh_core.Md_hom.t ->
+  Mdh_machine.Device.t ->
+  codegen ->
+  Plan.t ->
+  analysis
+(** Price an already-built plan: the plan carries the achieved parallelism,
+    clamped tile sizes and layer occupancy, so the cost model no longer
+    re-derives structure from the raw schedule. [achieved_units] equals
+    {!Plan.parallelism} by construction. [include_transfers] (default
+    false) adds host-link traffic for all input and output buffers. *)
+
 val analyse :
   ?include_transfers:bool ->
   Mdh_core.Md_hom.t ->
@@ -49,9 +62,8 @@ val analyse :
   codegen ->
   Schedule.t ->
   (analysis, string) result
-(** Full analysis; [Error] iff the schedule is illegal for the computation.
-    [include_transfers] (default false) adds host-link traffic for all input
-    and output buffers. *)
+(** [analyse_plan] over the schedule's plan (built through {!Plan_cache});
+    [Error] iff the schedule is illegal for the computation. *)
 
 val seconds :
   ?include_transfers:bool ->

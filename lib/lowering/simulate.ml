@@ -8,9 +8,9 @@ type run = {
 }
 
 let run ?include_transfers md dev cg sched env =
-  match Cost.analyse ?include_transfers md dev cg sched with
+  match Plan_cache.build md dev sched with
   | Error _ as e -> e
-  | Ok analysis ->
-    let sched = Schedule.clamp md sched in
-    let env = Semantics.eval_tiled md env ~tile_sizes:sched.Schedule.tile_sizes in
+  | Ok plan ->
+    let analysis = Cost.analyse_plan ?include_transfers md dev cg plan in
+    let env = Semantics.eval_tiled md env ~tile_sizes:plan.Plan.tile_sizes in
     Ok { env; estimated_s = analysis.breakdown.Roofline.total_s; analysis }

@@ -2,12 +2,14 @@ module Md_hom = Mdh_core.Md_hom
 module Semantics = Mdh_core.Semantics
 module Buffer = Mdh_tensor.Buffer
 module Combine = Mdh_combine.Combine
-module Schedule = Mdh_lowering.Schedule
+module Plan = Mdh_lowering.Plan
+module Plan_cache = Mdh_lowering.Plan_cache
 
 let host_device pool =
-  { Mdh_machine.Device.device_name = "host";
+  let workers = Pool.num_workers pool in
+  { Mdh_machine.Device.device_name = Printf.sprintf "host:%dw" workers;
     kind = Mdh_machine.Device.Cpu;
-    layers = [| { layer_name = "workers"; max_units = Pool.num_workers pool } |];
+    layers = [| { layer_name = "workers"; max_units = workers } |];
     peak_gflops = 1.0;
     mem = [| { level_name = "RAM"; capacity_bytes = max_int; bandwidth_gbs = 1.0 } |];
     link_gbs = None;
@@ -27,61 +29,162 @@ let run_seq md env =
     ~args:[ ("hom", md.Md_hom.hom_name) ]
     (fun () -> Semantics.exec md env)
 
-let run pool (md : Md_hom.t) sched env =
-  match Schedule.legal md (host_device pool) { sched with Schedule.used_layers = [] } with
+let default_chunks_per_worker = 2
+
+(* [lo, lo+extent) cut into at most [pieces] equal chunks (the last may be
+   short); empty chunks are dropped. *)
+let split_range ~extent ~pieces =
+  let n = max 1 (min extent pieces) in
+  let chunk = (extent + n - 1) / n in
+  List.init n (fun c -> (c * chunk, min chunk (extent - (c * chunk))))
+  |> List.filter (fun (_, sz) -> sz > 0)
+
+(* Spend the chunk budget on the plan's parallel levels: distributed (cc)
+   dimensions first, in dimension order, then the tree-reduce dimension
+   with whatever budget remains. *)
+let decompose plan ~target =
+  let remaining = ref (max 1 target) in
+  let cc =
+    List.map
+      (fun (d, extent) ->
+        let pieces = max 1 (min extent !remaining) in
+        remaining := max 1 (!remaining / pieces);
+        (d, split_range ~extent ~pieces))
+      (Plan.distributed plan)
+  in
+  let tree =
+    match Plan.tree plan with
+    | Some (d, extent, _items) when !remaining > 1 ->
+      Some (d, split_range ~extent ~pieces:!remaining)
+    | _ -> None
+  in
+  (cc, tree)
+
+(* All combinations of per-dimension ranges, outer dimension major. Each
+   box is a [(dim, (lo, sz))] list. *)
+let cross cc =
+  List.fold_left
+    (fun boxes (d, ranges) ->
+      List.concat_map (fun box -> List.map (fun r -> box @ [ (d, r) ]) ranges) boxes)
+    [ [] ] cc
+
+(* Tile sizes the box walker passes to [eval_box_tiled]: only dimensions
+   the plan tiles (sequential cc dims with tile < extent) are split below
+   the box level; everything else keeps its full extent so distributed and
+   reduction dimensions are not re-decomposed inside a box. *)
+let box_tiles (md : Md_hom.t) plan =
+  let tiles = Array.copy md.sizes in
+  List.iter
+    (function
+      | Plan.Tile { dim; tile; _ } -> tiles.(dim) <- tile
+      | _ -> ())
+    plan.Plan.levels;
+  tiles
+
+let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = true)
+    pool (md : Md_hom.t) sched env =
+  let dev = match device with Some d -> d | None -> host_device pool in
+  match Plan_cache.build md dev sched with
   | Error _ as e -> e
-  | Ok () ->
+  | Ok plan ->
     Metrics.incr m_runs;
     Trace.with_span ~cat:"runtime" "exec.run"
       ~args:[ ("hom", md.Md_hom.hom_name) ]
       (fun () ->
-        let sched = Schedule.clamp md sched in
-        match sched.Schedule.parallel_dims with
-        | [] -> Ok (run_seq md env)
-        | pd ->
-          (* split the outermost parallel dimension into per-worker boxes *)
-          let d = List.fold_left min (List.hd pd) pd in
-          let extent = md.sizes.(d) in
-          let workers = Pool.num_workers pool in
-          let n_chunks = min extent (workers * 2) in
-          let chunk = (extent + n_chunks - 1) / n_chunks in
-          let env = Semantics.alloc_outputs md env in
-          let rank = Md_hom.rank md in
-          List.iter
-            (fun (o : Md_hom.output) ->
-              let thunks =
-                Array.init n_chunks (fun c ->
-                    fun () ->
-                      let lo = Array.make rank 0 in
-                      let sz = Array.copy md.sizes in
-                      lo.(d) <- c * chunk;
-                      sz.(d) <- min chunk (extent - (c * chunk));
-                      if sz.(d) <= 0 then None
-                      else begin
-                        Metrics.incr m_boxes;
-                        Trace.with_span ~cat:"runtime" "exec.box"
-                          ~args:
-                            [ ("output", o.Md_hom.out_name);
-                              ("chunk", string_of_int c) ]
-                          (fun () -> Some (Semantics.eval_box md env o ~lo ~sz))
-                      end)
-              in
-              let partials = Pool.run_in_parallel pool thunks in
-              let combined =
-                Trace.with_span ~cat:"runtime" "exec.recombine"
-                  ~args:[ ("output", o.Md_hom.out_name) ]
-                  (fun () ->
-                    Array.fold_left
-                      (fun acc partial ->
-                        match (acc, partial) with
-                        | None, p -> p
-                        | Some a, Some p ->
-                          Some (Combine.combine_partials md.combine_ops.(d) ~dim:d a p)
-                        | Some _, None -> acc)
-                      None partials)
-              in
-              match combined with
-              | Some tensor -> Semantics.write_output env md o tensor
-              | None -> ())
-            md.outputs;
-          Ok env)
+        match if fastpath then Fastpath.try_run pool plan md env else None with
+        | Some env -> Ok env
+        | None ->
+          let target = Pool.num_workers pool * chunks_per_worker in
+          let cc, tree = decompose plan ~target in
+          if cc = [] && tree = None then Ok (run_seq md env)
+          else begin
+            let env = Semantics.alloc_outputs md env in
+            let rank = Md_hom.rank md in
+            let tiles = box_tiles md plan in
+            let cc_boxes = cross cc in
+            let tree_ranges =
+              match tree with Some (_, rs) -> rs | None -> []
+            in
+            let n_tree = max 1 (List.length tree_ranges) in
+            List.iter
+              (fun (o : Md_hom.output) ->
+                (* one job per (cc box × tree range), cc-box major so job
+                   group [g] owns partials [g*n_tree .. (g+1)*n_tree) *)
+                let jobs =
+                  List.concat_map
+                    (fun box ->
+                      match tree with
+                      | None -> [ (box, None) ]
+                      | Some (td, rs) ->
+                        List.map (fun r -> (box, Some (td, r))) rs)
+                    cc_boxes
+                in
+                let thunks =
+                  Array.of_list
+                    (List.mapi
+                       (fun j (box, treepart) ->
+                         fun () ->
+                           let lo = Array.make rank 0 in
+                           let sz = Array.copy md.sizes in
+                           List.iter
+                             (fun (d, (l, s)) ->
+                               lo.(d) <- l;
+                               sz.(d) <- s)
+                             box;
+                           (match treepart with
+                           | Some (td, (l, s)) ->
+                             lo.(td) <- l;
+                             sz.(td) <- s
+                           | None -> ());
+                           Metrics.incr m_boxes;
+                           Trace.with_span ~cat:"runtime" "exec.box"
+                             ~args:
+                               [ ("output", o.Md_hom.out_name);
+                                 ("box", string_of_int j) ]
+                             (fun () ->
+                               Semantics.eval_box_tiled md env o ~lo ~sz
+                                 ~tile_sizes:tiles))
+                       jobs)
+                in
+                let partials = Pool.run_in_parallel pool thunks in
+                let box_lo box =
+                  let lo = Array.make rank 0 in
+                  List.iter (fun (d, (l, _)) -> lo.(d) <- l) box;
+                  lo
+                in
+                match tree with
+                | None ->
+                  (* pure concatenation: every box lands in a disjoint slab
+                     of the output — write in place, no combine fold *)
+                  List.iteri
+                    (fun j (box, _) ->
+                      Semantics.write_output env md o ~lo:(box_lo box) partials.(j))
+                    jobs
+                | Some (td, _) ->
+                  let op = md.combine_ops.(td) in
+                  List.iteri
+                    (fun g box ->
+                      let combined =
+                        Trace.with_span ~cat:"runtime" "exec.recombine"
+                          ~args:[ ("output", o.Md_hom.out_name) ]
+                          (fun () ->
+                            let acc = ref None in
+                            for j = g * n_tree to ((g + 1) * n_tree) - 1 do
+                              acc :=
+                                match !acc with
+                                | None -> Some partials.(j)
+                                | Some a ->
+                                  Some
+                                    (Combine.combine_partials op ~dim:td a
+                                       partials.(j))
+                            done;
+                            !acc)
+                      in
+                      match combined with
+                      | Some tensor ->
+                        Semantics.write_output env md o ~lo:(box_lo box) tensor
+                      | None -> ())
+                    cc_boxes)
+              md.outputs;
+            Ok env
+          end)

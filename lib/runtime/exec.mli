@@ -1,25 +1,45 @@
-(** Parallel execution of scheduled MDH computations on the host, using the
-    domain pool.
+(** Plan-driven parallel execution of scheduled MDH computations on the
+    host, using the domain pool.
 
-    The executor realises the schedule's outermost parallel decision for
-    real: the first parallel dimension is split into per-worker boxes, each
-    box is evaluated independently ({!Mdh_core.Semantics.eval_box}), and the
-    partial results are recombined in order with the dimension's combine
-    operator — concatenation for [cc], the customising function for [pw],
-    carry propagation for [ps]. Because recombination happens in index
-    order, associative (not necessarily commutative) operators yield the
-    sequential result, which the tests assert. *)
+    The executor walks the same {!Mdh_lowering.Plan.t} the cost model,
+    simulator, and code generators consume. The plan's [Distribute] level
+    splits *all* parallel concatenation dimensions into boxes (not just
+    one), the [Tree_reduce] level splits the parallelised reduction
+    dimension with the leftover chunk budget, each box is evaluated
+    independently with the plan's cache tiles honored inside the box
+    ({!Mdh_core.Semantics.eval_box_tiled}), and partial results are
+    recombined in index order with the dimension's combine operator —
+    so associative (not necessarily commutative) operators yield the
+    sequential result. Pure-concatenation decompositions skip the combine
+    fold entirely and write each box in place.
+
+    When the computation structurally matches one of the flat-array
+    kernels (dot/matvec/matmul, see {!Fastpath}), the interpreter is
+    bypassed; disable with [~fastpath:false] where bit-identity with the
+    sequential interpreter matters. *)
 
 val run :
+  ?device:Mdh_machine.Device.t ->
+  ?chunks_per_worker:int ->
+  ?fastpath:bool ->
   Pool.t ->
   Mdh_core.Md_hom.t ->
   Mdh_lowering.Schedule.t ->
   Mdh_tensor.Buffer.env ->
   (Mdh_tensor.Buffer.env, string) result
-(** Fails iff the schedule is illegal (checked against a single-layer host
-    description). When the schedule has no parallel dimensions, runs
+(** Fails iff the schedule is illegal for [device] (default: a single-layer
+    description of the pool, one unit per worker — a schedule whose
+    [used_layers] do not fit is rejected, not silently accepted; pass the
+    device the schedule was tuned for to run it). [chunks_per_worker]
+    (default 2) scales the chunk budget: the decomposition targets
+    [workers * chunks_per_worker] boxes. [fastpath] (default true) allows
+    kernel dispatch. When the plan exposes no parallel level, runs
     sequentially. *)
 
 val run_seq : Mdh_core.Md_hom.t -> Mdh_tensor.Buffer.env -> Mdh_tensor.Buffer.env
 (** Sequential in-place execution (alias for [Semantics.exec]), the
     baseline the parallel path is checked against. *)
+
+val host_device : Pool.t -> Mdh_machine.Device.t
+(** The default execution device: one layer ([workers]) with one unit per
+    pool worker. *)

@@ -1,0 +1,156 @@
+module Md_hom = Mdh_core.Md_hom
+module Semantics = Mdh_core.Semantics
+module Buffer = Mdh_tensor.Buffer
+module Dense = Mdh_tensor.Dense
+module Scalar = Mdh_tensor.Scalar
+module Shape = Mdh_tensor.Shape
+module Index_fn = Mdh_tensor.Index_fn
+module Combine = Mdh_combine.Combine
+module Expr = Mdh_expr.Expr
+module Plan = Mdh_lowering.Plan
+module Trace = Mdh_obs.Trace
+module Metrics = Mdh_obs.Metrics
+
+let m_hits = Metrics.counter "runtime.kernels.fastpath_hits"
+
+(* A kernel may only replace the interpreter when the combine operator is
+   the builtin fp32 addition it hard-codes. *)
+let is_fadd = function
+  | Combine.Pw fn -> fn.Combine.builtin && String.equal fn.Combine.fn_name "add"
+  | _ -> false
+
+let is_cc = function Combine.Cc -> true | _ -> false
+
+let idx name = Expr.Idx name
+
+(* The input exists under the matched name with exactly the fp32 type and
+   shape the kernel assumes, both as declared and as supplied. *)
+let f32_input (md : Md_hom.t) env name shape =
+  List.exists
+    (fun (i : Md_hom.input) ->
+      String.equal i.inp_name name
+      && Scalar.equal_ty i.inp_ty Scalar.Fp32
+      && Shape.equal i.inp_shape shape)
+    md.inputs
+  &&
+  match Buffer.env_find_opt env name with
+  | Some b -> Scalar.equal_ty (Buffer.ty b) Scalar.Fp32 && Shape.equal (Buffer.shape b) shape
+  | None -> false
+
+let f32_output (o : Md_hom.output) shape =
+  Scalar.equal_ty o.out_ty Scalar.Fp32 && Shape.equal o.out_shape shape
+
+let floats env name =
+  let d = Buffer.data (Buffer.env_find env name) in
+  Array.init (Dense.num_elements d) (fun i -> Scalar.to_float (Dense.get_linear d i))
+
+(* Write a flat kernel result into the (freshly allocated) output buffer,
+   rounding to single precision once per element — kernels accumulate in
+   double, so fast-path results are tolerance-equal, not bit-equal, to the
+   per-op-rounding interpreter. *)
+let commit md env (o : Md_hom.output) result =
+  let env = Semantics.alloc_outputs md env in
+  let out = Buffer.data (Buffer.env_find env o.out_name) in
+  Array.iteri (fun i v -> Dense.set_linear out i (Scalar.f32 v)) result;
+  env
+
+type matched = {
+  kernel : string;
+  compute : parallel:bool -> float array;
+  output : Md_hom.output;
+}
+
+let match_dot pool (md : Md_hom.t) env =
+  match (md.combine_ops, md.outputs) with
+  | [| op |], [ o ]
+    when is_fadd op && f32_output o [| 1 |]
+         && Index_fn.apply o.out_access.fn [| 0 |] = [| 0 |] -> (
+    let k = md.sizes.(0) in
+    match o.value with
+    | Expr.Binop (Expr.Mul, Expr.Read (x, [ xi ]), Expr.Read (y, [ yi ]))
+      when xi = idx md.dims.(0) && yi = idx md.dims.(0)
+           && f32_input md env x [| k |] && f32_input md env y [| k |] ->
+      Some
+        { kernel = "dot";
+          output = o;
+          compute =
+            (fun ~parallel ->
+              let xv = floats env x and yv = floats env y in
+              [| (if parallel then Kernels.dot_par pool xv yv else Kernels.dot_seq xv yv) |]) }
+    | _ -> None)
+  | _ -> None
+
+let match_matvec pool (md : Md_hom.t) env =
+  match (md.combine_ops, md.outputs) with
+  | [| cc; pw |], [ o ]
+    when is_cc cc && is_fadd pw
+         && f32_output o [| md.sizes.(0) |]
+         && o.out_access.exprs = [ idx md.dims.(0) ] -> (
+    let m = md.sizes.(0) and k = md.sizes.(1) in
+    let i = md.dims.(0) and kd = md.dims.(1) in
+    match o.value with
+    | Expr.Binop (Expr.Mul, Expr.Read (mat, [ mi; mk ]), Expr.Read (v, [ vk ]))
+      when mi = idx i && mk = idx kd && vk = idx kd
+           && f32_input md env mat [| m; k |] && f32_input md env v [| k |] ->
+      Some
+        { kernel = "matvec";
+          output = o;
+          compute =
+            (fun ~parallel ->
+              let mv = floats env mat and vv = floats env v in
+              if parallel then Kernels.matvec_par pool ~m ~k mv vv
+              else Kernels.matvec_seq ~m ~k mv vv) }
+    | _ -> None)
+  | _ -> None
+
+let match_matmul pool (md : Md_hom.t) env ~tile =
+  match (md.combine_ops, md.outputs) with
+  | [| cc0; cc1; pw |], [ o ]
+    when is_cc cc0 && is_cc cc1 && is_fadd pw
+         && f32_output o [| md.sizes.(0); md.sizes.(1) |]
+         && o.out_access.exprs = [ idx md.dims.(0); idx md.dims.(1) ] -> (
+    let m = md.sizes.(0) and n = md.sizes.(1) and k = md.sizes.(2) in
+    let i = md.dims.(0) and j = md.dims.(1) and kd = md.dims.(2) in
+    match o.value with
+    | Expr.Binop (Expr.Mul, Expr.Read (a, [ ai; ak ]), Expr.Read (b, [ bk; bj ]))
+      when ai = idx i && ak = idx kd && bk = idx kd && bj = idx j
+           && f32_input md env a [| m; k |] && f32_input md env b [| k; n |] ->
+      Some
+        { kernel = "matmul";
+          output = o;
+          compute =
+            (fun ~parallel ->
+              let av = floats env a and bv = floats env b in
+              if parallel then Kernels.matmul_par pool ~tile ~m ~n ~k av bv
+              else Kernels.matmul_tiled ~tile ~m ~n ~k av bv) }
+    | _ -> None)
+  | _ -> None
+
+let try_run pool (plan : Plan.t) (md : Md_hom.t) env =
+  if Array.exists (fun s -> s = 0) md.sizes then None
+  else begin
+    (* reuse the plan's innermost cache tile for the blocked matmul kernel *)
+    let tile =
+      let r = Array.length plan.Plan.tile_sizes in
+      if r = 0 then 32 else max 4 (min 256 plan.Plan.tile_sizes.(r - 1))
+    in
+    let matched =
+      match match_dot pool md env with
+      | Some m -> Some m
+      | None -> (
+        match match_matvec pool md env with
+        | Some m -> Some m
+        | None -> match_matmul pool md env ~tile)
+    in
+    match matched with
+    | None -> None
+    | Some { kernel; compute; output } ->
+      let parallel =
+        Pool.num_workers pool > 1
+        && (Plan.distributed plan <> [] || Plan.tree plan <> None)
+      in
+      Metrics.incr m_hits;
+      Trace.with_span ~cat:"runtime" "exec.fastpath"
+        ~args:[ ("kernel", kernel); ("hom", md.Md_hom.hom_name) ]
+        (fun () -> Some (commit md env output (compute ~parallel)))
+  end

@@ -1,0 +1,26 @@
+(** Dispatch from the plan to the unboxed flat-array kernels.
+
+    When an MDH computation is structurally one of the linear-algebra
+    workloads {!Kernels} hand-specialises — dot product, matrix-vector,
+    matrix-matrix, all fp32 with builtin [+] reduction — the executor can
+    skip the boxed interpreter entirely. The matchers are conservative:
+    exact rank, combine operators, scalar-function shape, access patterns,
+    types and extents must line up, otherwise the generic plan walker
+    runs. Hits count under [runtime.kernels.fastpath_hits].
+
+    Kernels accumulate in double precision and round to fp32 once per
+    element, so fast-path results agree with the per-op-rounding
+    interpreter to float tolerance, not bit-exactly; [Exec.run
+    ~fastpath:false] disables dispatch where bit-identity matters. *)
+
+val try_run :
+  Pool.t ->
+  Mdh_lowering.Plan.t ->
+  Mdh_core.Md_hom.t ->
+  Mdh_tensor.Buffer.env ->
+  Mdh_tensor.Buffer.env option
+(** [try_run pool plan md env] is [Some env'] iff a kernel matched and ran
+    (parallel when the plan distributes work and the pool has more than one
+    worker). [None] means no kernel applies — including when an input
+    buffer is missing or mistyped, so the generic path can report the
+    error. *)

@@ -15,7 +15,11 @@
 #     are tracked,
 #   - the chaos stage fails: tuning under fault injection must degrade
 #     gracefully (same schedule, exit 0) and a deadline-suspended tune
-#     must resume bit-identically.
+#     must resume bit-identically,
+#   - the plan-consistency stage fails: every Plan consumer must go through
+#     the Plan IR (no Schedule internals in the executor / cost model /
+#     simulator / kernel codegen) and the catalogue's default-schedule plan
+#     digests must match scripts/plan_digests.golden.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -57,10 +61,34 @@ dune exec bin/mdhc.exe -- check --strict --file examples/mbbs.mdh \
 dune exec bin/mdhc.exe -- check --strict --file examples/mcc.mdh \
     -P N=1 -P P=112 -P Q=112 -P K=64 -P R=7 -P S=7 -P C=3 > /dev/null
 
-# chaos stage: tuning under deterministic fault injection on each site
-# must degrade gracefully — exit 0 and the fault-free schedule
+# plan-consistency stage, part 1: Plan.t is the single executable IR.
+# The four consumers must not reach back into Schedule internals — a
+# match on Schedule fields in any of them means the refactor regressed.
+plan_consumers="lib/runtime/exec.ml lib/lowering/cost.ml lib/lowering/simulate.ml lib/codegen/kernel.ml"
+schedule_leaks=$(grep -nE \
+    'Schedule\.(clamp|legal|tile_sizes|parallel_dims|used_layers|innermost_parallel_dim|parallel_iterations)' \
+    $plan_consumers || true)
+if [ -n "$schedule_leaks" ]; then
+    echo "error: Plan consumers reach into Schedule internals:" >&2
+    echo "$schedule_leaks" | head -10 >&2
+    echo "(consume Plan.t — built via Plan_cache.build — instead)" >&2
+    exit 1
+fi
+
 chaos_dir=$(mktemp -d)
 trap 'rm -rf "$chaos_dir"' EXIT
+
+# plan-consistency stage, part 2: `mdhc plan` must succeed over the whole
+# catalogue and the structural digests must match the committed golden file
+# (regenerate deliberately with: dune exec bin/mdhc.exe -- plan --digest)
+dune exec bin/mdhc.exe -- plan --digest > "$chaos_dir/plan_digests.txt"
+diff -u scripts/plan_digests.golden "$chaos_dir/plan_digests.txt" || {
+    echo "error: plan digests diverge from scripts/plan_digests.golden" >&2
+    echo "(an intentional plan/schedule change must update the golden file)" >&2
+    exit 1; }
+
+# chaos stage: tuning under deterministic fault injection on each site
+# must degrade gracefully — exit 0 and the fault-free schedule
 
 dune exec bin/mdhc.exe -- tune matvec --no-cache --budget 40 \
     --strategy random > "$chaos_dir/plain.txt" 2> /dev/null

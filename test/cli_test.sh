@@ -62,7 +62,43 @@ grep -q 'result check: OK' "$tmp/run.txt" || fail "run result check failed"
 # --- mdhc check: the static diagnostics engine ---
 
 # this PR's version
-grep -q '^1\.3\.0' "$tmp/version.txt" || fail "--version is not 1.3.0"
+grep -q '^1\.4\.0' "$tmp/version.txt" || fail "--version is not 1.4.0"
+
+# --- mdhc plan: the executable IR, printed and fingerprinted ---
+
+# a single workload/device plan names its distribute level and a digest
+"$MDHC" plan matvec --device cpu >"$tmp/plan.txt" 2>&1 ||
+  fail "plan matvec exited non-zero"
+grep -q 'distribute dims' "$tmp/plan.txt" || fail "plan printed no distribute level"
+grep -Eq 'digest [0-9a-f]{8}' "$tmp/plan.txt" || fail "plan printed no digest"
+
+# --digest emits one `workload device digest` line per catalogue entry x device
+"$MDHC" plan --digest >"$tmp/digests.txt" 2>&1 || fail "plan --digest exited non-zero"
+grep -Eq '^matvec +cpu +[0-9a-f]{8}$' "$tmp/digests.txt" ||
+  fail "plan --digest has no matvec cpu line"
+n_lines=$(wc -l <"$tmp/digests.txt")
+n_workloads=$("$MDHC" list | wc -l)
+[ "$n_lines" -eq $((2 * n_workloads)) ] ||
+  fail "plan --digest line count is not 2 x catalogue size"
+
+# digests are deterministic across invocations
+"$MDHC" plan --digest >"$tmp/digests2.txt" 2>&1 || fail "second plan --digest failed"
+diff -u "$tmp/digests.txt" "$tmp/digests2.txt" >&2 || fail "plan digests not stable"
+
+# an explicit legal schedule is honoured; an illegal one is rejected
+"$MDHC" plan matvec --device cpu \
+  --schedule 'tiles=7x9 parallel=[0] layers=[0]' >"$tmp/plan_sched.txt" 2>&1 ||
+  fail "plan with explicit schedule exited non-zero"
+if "$MDHC" plan matvec --device cpu \
+  --schedule 'tiles=7x9 parallel=[99] layers=[0]' >/dev/null 2>&1; then
+  fail "plan accepted an illegal schedule"
+fi
+
+# the plan cache reports its traffic under --metrics
+"$MDHC" plan matmul --metrics >"$tmp/plan_metrics.txt" 2>&1 ||
+  fail "plan --metrics exited non-zero"
+grep -q 'lowering\.plan_cache\.' "$tmp/plan_metrics.txt" ||
+  fail "no plan-cache counters under --metrics"
 
 # --- fault injection and checkpoint/resume contracts ---
 

@@ -142,7 +142,7 @@ let test_code_table_stable () =
       ("MDH021", Diag.Error); ("MDH022", Diag.Error); ("MDH023", Diag.Warning);
       ("MDH101", Diag.Warning); ("MDH102", Diag.Warning);
       ("MDH103", Diag.Warning); ("MDH110", Diag.Hint); ("MDH111", Diag.Hint);
-      ("MDH112", Diag.Hint) ]
+      ("MDH112", Diag.Hint); ("MDH113", Diag.Hint) ]
   in
   check
     (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
@@ -408,6 +408,29 @@ let test_lint_locality () =
   check Alcotest.bool "matvec clean" true
     (find_code "MDH111" (Analyze.directive (matvec_like ())) = None)
 
+let test_plan_hint_reduction_parallelism () =
+  (* dot is a pure reduction: concatenation-only parallelism is 1, while the
+     lowering's default plan tree-reduces k — the plan-aware pass hints *)
+  let dot =
+    match Mdh_workloads.Catalog.find "dot" with
+    | Some w -> w
+    | None -> Alcotest.fail "dot workload missing"
+  in
+  let ds = Analyze.directive (dot.W.make dot.W.test_params) in
+  (match find_code "MDH113" ds with
+  | Some d ->
+    check Alcotest.string "hint" "hint" (Diag.severity_to_string d.Diag.severity);
+    check (Alcotest.option Alcotest.string) "blames the reduction loop"
+      (Some "k") d.Diag.subject
+  | None -> Alcotest.fail "MDH113 expected on dot");
+  (* a non-associative reduction cannot be tree-reduced: no hint *)
+  let nonassoc =
+    Combine.custom ~name:"avg" ~associative:false ~commutative:true (fun a b ->
+        Scalar.div (Scalar.add a b) (Scalar.F64 2.0))
+  in
+  let ds2 = Analyze.directive (matvec_like ~ops:[ Combine.cc; Combine.pw nonassoc ] ()) in
+  check Alcotest.bool "no hint without a tree" true (find_code "MDH113" ds2 = None)
+
 (* --- pragma-level diagnostics --- *)
 
 let test_pragma_lex_and_parse_errors () =
@@ -464,6 +487,8 @@ let suite =
         test_lint_unparallelisable;
       Alcotest.test_case "lint: degenerate extent" `Quick test_lint_degenerate_extent;
       Alcotest.test_case "lint: locality" `Quick test_lint_locality;
+      Alcotest.test_case "plan hint: reduction parallelism" `Quick
+        test_plan_hint_reduction_parallelism;
       Alcotest.test_case "pragma lex/parse diagnostics" `Quick
         test_pragma_lex_and_parse_errors;
       Alcotest.test_case "catalogue clean" `Quick test_catalogue_clean ] )

@@ -231,7 +231,7 @@ let test_plan_matvec_structure () =
     check Alcotest.int "3 levels + point" 3 (Plan.depth plan);
     (match plan.Plan.levels with
     | [ Plan.Distribute { dims = [ 0 ]; points = 64; _ };
-        Plan.Tree_reduce { dim = 1; op = "pw(add)"; items = 32 } ] -> ()
+        Plan.Tree_reduce { dim = 1; op = "pw(add)"; items = 32; _ } ] -> ()
     | _ -> Alcotest.fail "unexpected plan shape");
     check Alcotest.int "parallelism" (64 * 32) (Plan.parallelism plan)
 
@@ -246,7 +246,10 @@ let test_plan_sequential_reduction () =
     (match plan.Plan.levels with
     | [ Plan.Distribute _; Plan.Accumulate { dim = 1; extent = 32; _ } ] -> ()
     | _ -> Alcotest.fail "expected distribute + accumulate");
-    check Alcotest.int "parallelism capped by units" 18 (Plan.parallelism plan)
+    (* 64 parallel iterations over 18 usable units: ceil(64/18) = 4 rounds,
+       so the achieved parallelism is ceil-div-balanced 64/4 = 16 — the same
+       figure Cost.analyse reports as achieved_units *)
+    check Alcotest.int "parallelism capped by units" 16 (Plan.parallelism plan)
 
 let test_plan_tiled_sequential () =
   let md = matmul_md ~n:64 () in
@@ -282,6 +285,69 @@ let test_plan_rejects_illegal () =
   let md = matvec_md () in
   let bad = { Schedule.tile_sizes = [| 1 |]; parallel_dims = []; used_layers = [] } in
   check Alcotest.bool "illegal" true (Result.is_error (Plan.build md cpu bad))
+
+let test_plan_sequential_shape () =
+  let md = matmul_md ~n:8 () in
+  let plan = Plan.sequential md in
+  check Alcotest.int "serial" 1 (Plan.parallelism plan);
+  check Alcotest.bool "no distribute" true
+    (not
+       (List.exists
+          (function Plan.Distribute _ | Plan.Tree_reduce _ -> true | _ -> false)
+          plan.Plan.levels));
+  (* roles mirror the combine-operator classification *)
+  check Alcotest.bool "k accumulates" true (Plan.role plan 2 = Plan.Role_accumulate);
+  check Alcotest.bool "i is seq cc" true (Plan.role plan 0 = Plan.Role_seq)
+
+let test_plan_digest_stable () =
+  let md = matvec_md ~i:64 ~k:32 () in
+  let sched = Lower.mdh_default md gpu in
+  let d1 = Result.map Plan.digest (Plan.build md gpu sched) in
+  let d2 = Result.map Plan.digest (Plan.build md gpu sched) in
+  check Alcotest.bool "deterministic" true (d1 = d2 && Result.is_ok d1);
+  (* a different schedule must not collide on this structure *)
+  let other = { sched with Schedule.parallel_dims = [ 0 ] } in
+  let d3 = Result.map Plan.digest (Plan.build md gpu other) in
+  check Alcotest.bool "schedule-sensitive" true (d1 <> d3)
+
+let test_plan_cache_counters () =
+  let md = matvec_md ~i:64 ~k:32 () in
+  let sched = Lower.mdh_default md gpu in
+  Mdh_lowering.Plan_cache.clear ();
+  Mdh_lowering.Plan_cache.reset_stats ();
+  let p1 = Mdh_lowering.Plan_cache.build md gpu sched in
+  let p2 = Mdh_lowering.Plan_cache.build md gpu sched in
+  check Alcotest.bool "both ok" true (Result.is_ok p1 && Result.is_ok p2);
+  check Alcotest.bool "same plan object" true (p1 == p2 || p1 = p2);
+  let s = Mdh_lowering.Plan_cache.stats () in
+  check Alcotest.int "one miss" 1 s.Mdh_lowering.Plan_cache.n_misses;
+  check Alcotest.int "one hit" 1 s.Mdh_lowering.Plan_cache.n_hits;
+  (* disabled cache neither hits nor records *)
+  Mdh_lowering.Plan_cache.set_enabled false;
+  let p3 = Mdh_lowering.Plan_cache.build md gpu sched in
+  Mdh_lowering.Plan_cache.set_enabled true;
+  check Alcotest.bool "bypass still ok" true (Result.is_ok p3);
+  let s' = Mdh_lowering.Plan_cache.stats () in
+  check Alcotest.int "no extra hit" 1 s'.Mdh_lowering.Plan_cache.n_hits
+
+let test_plan_parallelism_matches_cost () =
+  (* tentpole invariant: Plan.parallelism and the cost model's
+     achieved_units are the same number on the same plan *)
+  List.iter
+    (fun (w : W.t) ->
+      let md = W.to_md_hom w w.W.test_params in
+      List.iter
+        (fun dev ->
+          let sched = Lower.mdh_default md dev in
+          match Plan.build md dev sched with
+          | Error e -> Alcotest.failf "%s: %s" w.W.wl_name e
+          | Ok plan ->
+            let a = Cost.analyse_plan md dev Cost.tuned_codegen plan in
+            check Alcotest.int
+              (Printf.sprintf "%s on %s" w.W.wl_name dev.Mdh_machine.Device.device_name)
+              (Plan.parallelism plan) a.Cost.achieved_units)
+        [ cpu; gpu ])
+    Catalog.all
 
 (* --- Simulate: any legal schedule computes the reference result --- *)
 
@@ -334,5 +400,10 @@ let suite =
       tc "plan tiled sequential" `Quick test_plan_tiled_sequential;
       tc "plan scan" `Quick test_plan_scan;
       tc "plan rejects illegal" `Quick test_plan_rejects_illegal;
+      tc "plan sequential shape" `Quick test_plan_sequential_shape;
+      tc "plan digest stable" `Quick test_plan_digest_stable;
+      tc "plan cache counters" `Quick test_plan_cache_counters;
+      tc "plan parallelism = cost achieved_units" `Quick
+        test_plan_parallelism_matches_cost;
       tc "simulate matches reference (all workloads)" `Slow
         test_simulate_matches_reference ] )

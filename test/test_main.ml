@@ -11,6 +11,7 @@ let () =
       Test_atf.suite;
       Test_fault.suite;
       Test_runtime.suite;
+      Test_plan_exec.suite;
       Test_baselines.suite;
       Test_workloads.suite;
       Test_pragma.suite;
