@@ -1,24 +1,36 @@
-(* Plan-executor benchmark: the pre-refactor chunking strategy against the
-   plan walker's multi-dimension decomposition and the flat-array fast
-   path, on the workloads the fast path specialises.
+(* Three-backend executor benchmark over the whole catalogue: for every
+   workload, the same tiled schedule runs through
 
-   Three variants per workload, all through Exec.run on the same pool:
-   - legacy:    untiled schedule, only the lowest-indexed parallelisable
-                dimension distributed, fast path off — the shape of work
-                the pre-refactor executor produced;
-   - plan-tiled: cache-sized tiles and every parallelisable dimension
-                distributed, fast path off — the plan walker's own gain;
-   - fastpath:  the same schedule with kernel dispatch on.
+   - interp:  the generic plan walker (fast path and specializer off) —
+              boxed per-point interpretation, the semantic baseline;
+   - special: the plan-compiled fp32 specializer, timed on its compiled
+              closure (compilation is cached under Plan.digest and the
+              warm runs are asserted to recompile nothing);
+   - cc:      the generated OpenMP C, compiled once with gcc -O3 -fopenmp
+              and timed per driver invocation (build time reported
+              separately; skipped with a printed note when gcc is absent
+              or the computation exceeds the Listing 2 C shape).
 
-   Results go to stdout and BENCH_plan_exec.json (per-variant best-of-N
-   seconds plus speedups over legacy); the JSON is a run artifact, not a
-   source — CI uploads it, .gitignore excludes it. *)
+   Every backend's result is checked against Semantics.exec before it is
+   timed: the specializer at the repository tolerance, the compiled C a
+   decade looser (C float accumulation plus OpenMP reassociation).
+
+   Results go to stdout and BENCH_plan_exec.json (best-of-N seconds plus
+   speedups over interp); the JSON is a run artifact, not a source — CI
+   uploads it, .gitignore excludes it. *)
 
 module W = Mdh_workloads.Workload
+module Md_hom = Mdh_core.Md_hom
+module Semantics = Mdh_core.Semantics
+module Buffer = Mdh_tensor.Buffer
+module Dense = Mdh_tensor.Dense
 module Schedule = Mdh_lowering.Schedule
 module Lower = Mdh_lowering.Lower
+module Plan_cache = Mdh_lowering.Plan_cache
 module Pool = Mdh_runtime.Pool
 module Exec = Mdh_runtime.Exec
+module Specializer = Mdh_runtime.Specializer
+module Cc = Mdh_codegen.Cc
 module J = Mdh_obs.Json
 
 let cpu = Mdh_machine.Device.xeon6140_like
@@ -31,68 +43,128 @@ let best_of n f =
   done;
   !best
 
-let legacy_schedule md =
-  match Lower.parallelisable_dims md with
-  | [] -> Schedule.sequential md
-  | d :: _ ->
-    { (Schedule.sequential md) with
-      Schedule.parallel_dims = [ d ];
-      Schedule.used_layers = [ 0 ] }
-
 let tiled_schedule md =
   { (Lower.mdh_default md cpu) with Schedule.used_layers = [ 0 ] }
+
+let check_result ~rel ~abs name md got expected =
+  List.iter
+    (fun (o : Md_hom.output) ->
+      let data e = Buffer.data (Buffer.env_find e o.Md_hom.out_name) in
+      if not (Dense.approx_equal ~rel ~abs (data got) (data expected)) then
+        failwith (name ^ ": backend result mismatch"))
+    md.Md_hom.outputs
+
+(* moderate sizes: big enough that per-point interpretation overhead
+   dominates, small enough that the full catalogue sweep stays in seconds *)
+let cases =
+  [ ("dot", [ ("K", 200_000) ]);
+    ("matvec", [ ("I", 512); ("K", 512) ]);
+    ("matmul", [ ("I", 48); ("J", 48); ("K", 48) ]);
+    ("matmul^t", [ ("I", 48); ("J", 48); ("K", 48) ]);
+    ("bmatmul", [ ("B", 8); ("I", 24); ("J", 24); ("K", 24) ]);
+    ("gaussian_2d", [ ("N", 96); ("M", 96) ]);
+    ("jacobi_3d", [ ("N", 30) ]);
+    ("prl", [ ("N", 64); ("I", 1024) ]);
+    ("ccsd(t)",
+     [ ("h3", 6); ("h2", 4); ("h1", 4); ("p6", 6); ("p5", 4); ("p4", 4);
+       ("h7", 6) ]);
+    ("mcc", [ ("N", 1); ("P", 6); ("Q", 6); ("K", 8); ("R", 3); ("S", 3); ("C", 8) ]);
+    ("mcc_caps",
+     [ ("N", 1); ("P", 4); ("Q", 4); ("K", 4); ("R", 3); ("S", 3); ("C", 4);
+       ("M", 2) ]);
+    ("mbbs", [ ("I", 256); ("J", 64) ]);
+    ("jacobi1d", [ ("N", 100_000) ]) ]
 
 let bench_one pool (w : W.t) params =
   let md = W.to_md_hom w params in
   let env = w.W.gen params ~seed:17 in
+  let name = String.lowercase_ascii w.W.wl_name in
   let size =
-    String.concat "x" (Array.to_list (Array.map string_of_int md.Mdh_core.Md_hom.sizes))
+    String.concat "x" (Array.to_list (Array.map string_of_int md.Md_hom.sizes))
   in
-  let time ?(fastpath = false) sched =
-    let run () =
-      match Exec.run ~fastpath pool md sched env with
-      | Ok e -> e
-      | Error e -> failwith (w.W.wl_name ^ ": " ^ e)
-    in
-    (* correctness first, then best-of-3 wall clock *)
-    let got = run () in
-    let expected = Mdh_core.Semantics.exec md env in
-    List.iter
-      (fun (o : Mdh_core.Md_hom.output) ->
-        let data e =
-          Mdh_tensor.Buffer.data
-            (Mdh_tensor.Buffer.env_find e o.Mdh_core.Md_hom.out_name)
+  let sched = tiled_schedule md in
+  let plan =
+    match Plan_cache.build md cpu sched with
+    | Ok p -> p
+    | Error e -> failwith (name ^ ": plan build: " ^ e)
+  in
+  let expected = Semantics.exec md env in
+  (* interp: the generic walker, every dispatch layer off *)
+  let run_interp () =
+    match Exec.run ~fastpath:false ~specialize:false pool md sched env with
+    | Ok e -> e
+    | Error e -> failwith (name ^ ": " ^ e)
+  in
+  check_result ~rel:1e-4 ~abs:1e-5 name md (run_interp ()) expected;
+  let interp_s = best_of 3 run_interp in
+  (* special: compiled closure; warm timed runs must never recompile *)
+  let special_s =
+    match Specializer.supported plan md with
+    | Error reason ->
+      Printf.printf "%-11s %-22s  specializer unsupported: %s\n%!" name size
+        reason;
+      None
+    | Ok () ->
+      let run_special () =
+        match Specializer.try_run pool plan md env with
+        | Some e -> e
+        | None -> failwith (name ^ ": specializer refused a supported plan")
+      in
+      check_result ~rel:1e-4 ~abs:1e-5 name md (run_special ()) expected;
+      let warm = (Specializer.stats ()).Specializer.compiles in
+      let t = best_of 3 run_special in
+      let after = (Specializer.stats ()).Specializer.compiles in
+      if after <> warm then
+        failwith (name ^ ": warm specializer runs recompiled the plan");
+      Some t
+  in
+  (* cc: build once (reported separately), time the driver runs *)
+  let cc_build_s, cc_s =
+    if not (Cc.available ()) then (None, None)
+    else
+      match Mdh_support.Util.time_it (fun () -> Cc.build md) with
+      | Error reason, _ ->
+        Printf.printf "%-11s %-22s  %s\n%!" name size reason;
+        (None, None)
+      | Ok t, build_s ->
+        let run_cc () =
+          match Cc.run t env with
+          | Ok e -> e
+          | Error e -> failwith (name ^ ": " ^ e)
         in
-        if
-          not
-            (Mdh_tensor.Dense.approx_equal ~rel:1e-4 ~abs:1e-5 (data got)
-               (data expected))
-        then failwith (w.W.wl_name ^ ": variant result mismatch"))
-      md.Mdh_core.Md_hom.outputs;
-    best_of 3 run
+        check_result ~rel:1e-3 ~abs:1e-4 name md (run_cc ()) expected;
+        let s = best_of 3 run_cc in
+        Cc.cleanup t;
+        (Some build_s, Some s)
   in
-  let legacy_s = time (legacy_schedule md) in
-  let tiled_s = time (tiled_schedule md) in
-  let fast_s = time ~fastpath:true (tiled_schedule md) in
-  Printf.printf "%-8s %-12s  legacy %.4fs  plan-tiled %.4fs (%.2fx)  fastpath %.4fs (%.1fx)\n%!"
-    (String.lowercase_ascii w.W.wl_name)
-    size legacy_s tiled_s (legacy_s /. tiled_s) fast_s (legacy_s /. fast_s);
+  let speedup = Option.map (fun s -> interp_s /. s) in
+  let fmt_opt = function
+    | Some s -> Printf.sprintf "%.4fs (%.1fx)" s (interp_s /. s)
+    | None -> "-"
+  in
+  Printf.printf "%-11s %-22s  interp %.4fs  special %-18s  cc %s\n%!" name size
+    interp_s
+    (fmt_opt special_s)
+    (fmt_opt cc_s);
+  let num_opt = function Some s -> J.number s | None -> "null" in
   J.obj
-    [ ("name", J.quote (String.lowercase_ascii w.W.wl_name));
+    [ ("name", J.quote name);
       ("size", J.quote size);
-      ("legacy_s", J.number legacy_s);
-      ("plan_tiled_s", J.number tiled_s);
-      ("fastpath_s", J.number fast_s);
-      ("plan_tiled_speedup", J.number (legacy_s /. tiled_s));
-      ("fastpath_speedup", J.number (legacy_s /. fast_s)) ]
+      ("interp_s", J.number interp_s);
+      ("special_s", num_opt special_s);
+      ("cc_s", num_opt cc_s);
+      ("cc_build_s", num_opt cc_build_s);
+      ("special_supported", if special_s = None then "false" else "true");
+      ("cc_supported", if cc_s = None then "false" else "true");
+      ("special_speedup", num_opt (speedup special_s));
+      ("cc_speedup", num_opt (speedup cc_s)) ]
 
 let run () =
-  print_endline "[plan-exec] plan walker vs pre-refactor chunking (host pool)";
-  let cases =
-    [ ("matmul", [ ("I", 48); ("J", 48); ("K", 48) ]);
-      ("matvec", [ ("I", 512); ("K", 512) ]);
-      ("dot", [ ("K", 200_000) ]) ]
-  in
+  print_endline
+    "[plan-exec] interp walker vs plan-compiled specializer vs compiled \
+     OpenMP C (host pool)";
+  if not (Cc.available ()) then
+    print_endline "[plan-exec] gcc not on PATH: cc columns will be null";
   let rows =
     Pool.with_pool (fun pool ->
         List.map
@@ -103,7 +175,7 @@ let run () =
           cases)
   in
   let json =
-    J.obj [ ("schema", J.quote "mdh-bench-plan-exec/1"); ("workloads", J.arr rows) ]
+    J.obj [ ("schema", J.quote "mdh-bench-plan-exec/2"); ("workloads", J.arr rows) ]
   in
   Out_channel.with_open_text "BENCH_plan_exec.json" (fun oc ->
       output_string oc json;

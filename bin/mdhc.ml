@@ -24,7 +24,7 @@
 
 open Cmdliner
 
-let version = "1.4.0"
+let version = "1.5.0"
 
 module W = Mdh_workloads.Workload
 module Device = Mdh_machine.Device
@@ -449,27 +449,76 @@ let compile_cmd =
 let run_cmd =
   let doc = "Execute a workload (test sizes by default) on the host and check \
              the result against the reference semantics." in
-  let run name input seed parallel trace metrics =
+  let backend_arg =
+    let doc =
+      "Execution backend: $(b,auto) (fastpath, then plan-compiled \
+       specializer, then generic walker), $(b,interp) (generic box walker \
+       only), $(b,special) (plan-compiled specializer, error if the \
+       workload is not specializable), or $(b,cc) (generate the OpenMP C, \
+       compile with gcc -O3 -fopenmp, and execute the binary)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("interp", `Interp); ("special", `Special); ("cc", `Cc) ]) `Auto
+      & info [ "backend" ] ~doc ~docv:"auto|interp|special|cc")
+  in
+  let no_specialize_arg =
+    let doc = "Disable the plan-compiled specializer (auto backend only)." in
+    Arg.(value & flag & info [ "no-specialize" ] ~doc)
+  in
+  let run name input seed parallel backend no_specialize trace metrics =
     setup_obs ~trace;
     let w = or_die (find_workload name) in
     let params = or_die (params_of w input) in
     let md = W.to_md_hom w params in
     let env = w.W.gen params ~seed in
-    let (result_env, elapsed) =
-      if parallel then
-        Mdh_runtime.Pool.with_pool (fun pool ->
-            let sched =
-              { (Schedule.sequential md) with
-                Schedule.parallel_dims = Mdh_lowering.Lower.parallelisable_dims md }
-            in
-            Mdh_support.Util.time_it (fun () ->
+    let parallel_sched () =
+      { (Schedule.sequential md) with
+        Schedule.parallel_dims = Mdh_lowering.Lower.parallelisable_dims md }
+    in
+    let in_pool f =
+      Mdh_runtime.Pool.with_pool (fun pool ->
+          let sched =
+            if parallel then parallel_sched () else Schedule.sequential md
+          in
+          Mdh_support.Util.time_it (fun () -> f pool sched))
+    in
+    let (result_env, elapsed), mode =
+      match backend with
+      | `Auto ->
+        ( in_pool (fun pool sched ->
+              or_die
+                (Mdh_runtime.Exec.run ~specialize:(not no_specialize) pool md
+                   sched env)),
+          if parallel then "parallel" else "sequential" )
+      | `Interp ->
+        ( in_pool (fun pool sched ->
+              or_die
+                (Mdh_runtime.Exec.run ~fastpath:false ~specialize:false pool
+                   md sched env)),
+          (if parallel then "parallel" else "sequential") ^ " interp" )
+      | `Special ->
+        ( in_pool (fun pool sched ->
+              let dev = Mdh_runtime.Exec.host_device pool in
+              let plan =
+                or_die (Mdh_lowering.Plan_cache.build md dev sched)
+              in
+              match Mdh_runtime.Specializer.try_run pool plan md env with
+              | Some env' -> env'
+              | None ->
                 or_die
-                  (Result.map_error (fun e -> "parallel execution: " ^ e)
-                     (Mdh_runtime.Exec.run pool md sched env))))
-      else Mdh_support.Util.time_it (fun () -> Mdh_runtime.Exec.run_seq md env)
+                  (Error
+                     (match Mdh_runtime.Specializer.supported plan md with
+                     | Error e -> "specializer: " ^ e
+                     | Ok () -> "specializer: input buffers do not match"))),
+          (if parallel then "parallel" else "sequential") ^ " specializer" )
+      | `Cc ->
+        ( Mdh_support.Util.time_it (fun () ->
+              or_die (Mdh_codegen.Cc.execute md env)),
+          "compiled OpenMP C" )
     in
     Printf.printf "executed %s in %.4fs (%s)\n" md.Mdh_core.Md_hom.hom_name elapsed
-      (if parallel then "parallel" else "sequential");
+      mode;
     (match w.W.reference with
     | None -> print_endline "no independent oracle for this workload"
     | Some oracle ->
@@ -493,7 +542,8 @@ let run_cmd =
     Term.(
       const run $ workload_arg
       $ Arg.(value & opt string "test" & info [ "input"; "i" ])
-      $ seed_arg $ parallel_arg $ trace_arg $ metrics_arg)
+      $ seed_arg $ parallel_arg $ backend_arg $ no_specialize_arg $ trace_arg
+      $ metrics_arg)
 
 let check_cmd =
   let doc =

@@ -119,8 +119,18 @@ let generate (md : Md_hom.t) =
         | Combine.Pw _ -> (
           match reduction_clause_op fn with
           | Some op ->
-            (* Listing 2: the sum temporary the MDH directive avoids *)
-            emit "%s sum = 0;" acc_ty;
+            (* Listing 2: the sum temporary the MDH directive avoids,
+               initialised to the operator's identity — `0` is only right
+               for `+` (a `*`/min/max reduction seeded with 0 is absorbed) *)
+            let init =
+              match op with
+              | "+" -> "0"
+              | "*" -> "1"
+              | "min" -> "INFINITY"
+              | "max" -> "-INFINITY"
+              | _ -> assert false
+            in
+            emit "%s sum = %s;" acc_ty init;
             emit "#pragma omp simd reduction(%s:sum)" op;
             open_loop d;
             List.iter (fun s -> emit "%s" s) value.C_like.decls;

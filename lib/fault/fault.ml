@@ -25,7 +25,8 @@ type trigger = {
   hits : int Atomic.t;
 }
 
-let sites = [ "pool.job"; "cost.eval"; "db.read"; "db.write"; "db.rename" ]
+let sites =
+  [ "pool.job"; "kernel.run"; "cost.eval"; "db.read"; "db.write"; "db.rename" ]
 
 let armed_flag = Atomic.make false
 let triggers : trigger list ref = ref []
@@ -51,7 +52,7 @@ let trigger_to_string t =
 let grammar =
   "SPEC     := CLAUSE (',' CLAUSE)*\n\
    CLAUSE   := SITE ':' ACTION ['@' N] ['/' EVERY]\n\
-   SITE     := pool.job | cost.eval | db.read | db.write | db.rename\n\
+   SITE     := pool.job | kernel.run | cost.eval | db.read | db.write | db.rename\n\
    ACTION   := raise              (raise Mdh_fault.Fault.Injected)\n\
   \          | delay=MILLIS       (sleep before proceeding)\n\
   \          | truncate=N         (keep only N bytes of the payload)\n\

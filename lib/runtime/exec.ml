@@ -74,15 +74,18 @@ let cross cc =
    reduction dimensions are not re-decomposed inside a box. *)
 let box_tiles (md : Md_hom.t) plan =
   let tiles = Array.copy md.sizes in
-  List.iter
-    (function
-      | Plan.Tile { dim; tile; _ } -> tiles.(dim) <- tile
-      | _ -> ())
-    plan.Plan.levels;
+  List.iter (fun (dim, tile) -> tiles.(dim) <- tile) (Plan.tiled plan);
   tiles
 
 let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = true)
-    pool (md : Md_hom.t) sched env =
+    ?(specialize = true) pool (md : Md_hom.t) sched env =
+  if Array.exists (fun s -> s = 0) md.Md_hom.sizes then
+    (* an empty dimension means zero jobs after decomposition, which would
+       leave allocated outputs unwritten; parallel execution is pinned to
+       the sequential semantics for empty iteration spaces (the schedule
+       is irrelevant — there is no work to distribute) *)
+    Ok (run_seq md env)
+  else
   let dev = match device with Some d -> d | None -> host_device pool in
   match Plan_cache.build md dev sched with
   | Error _ as e -> e
@@ -91,7 +94,12 @@ let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = tr
     Trace.with_span ~cat:"runtime" "exec.run"
       ~args:[ ("hom", md.Md_hom.hom_name) ]
       (fun () ->
-        match if fastpath then Fastpath.try_run pool plan md env else None with
+        match
+          match if fastpath then Fastpath.try_run pool plan md env else None with
+          | Some env -> Some env
+          | None ->
+            if specialize then Specializer.try_run pool plan md env else None
+        with
         | Some env -> Ok env
         | None ->
           let target = Pool.num_workers pool * chunks_per_worker in

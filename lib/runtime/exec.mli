@@ -13,15 +13,20 @@
     sequential result. Pure-concatenation decompositions skip the combine
     fold entirely and write each box in place.
 
-    When the computation structurally matches one of the flat-array
-    kernels (dot/matvec/matmul, see {!Fastpath}), the interpreter is
-    bypassed; disable with [~fastpath:false] where bit-identity with the
-    sequential interpreter matters. *)
+    Dispatch order: when the computation structurally matches one of the
+    flat-array kernels (dot/matvec/matmul, see {!Fastpath}), the
+    interpreter is bypassed; otherwise any fp32 plan is compiled once to a
+    flat-array closure and executed (see {!Specializer}); the generic box
+    walker is the fallback for everything else. Both accelerated paths
+    accumulate in double and are tolerance-equal to the interpreter —
+    disable with [~fastpath:false ~specialize:false] where bit-identity
+    with the sequential interpreter matters. *)
 
 val run :
   ?device:Mdh_machine.Device.t ->
   ?chunks_per_worker:int ->
   ?fastpath:bool ->
+  ?specialize:bool ->
   Pool.t ->
   Mdh_core.Md_hom.t ->
   Mdh_lowering.Schedule.t ->
@@ -33,8 +38,11 @@ val run :
     device the schedule was tuned for to run it). [chunks_per_worker]
     (default 2) scales the chunk budget: the decomposition targets
     [workers * chunks_per_worker] boxes. [fastpath] (default true) allows
-    kernel dispatch. When the plan exposes no parallel level, runs
-    sequentially. *)
+    kernel dispatch; [specialize] (default true) allows plan-compiled
+    execution. When the plan exposes no parallel level, runs sequentially.
+    A zero-extent dimension short-circuits to {!run_seq} — parallel
+    execution of an empty iteration space is defined to be the sequential
+    semantics. *)
 
 val run_seq : Mdh_core.Md_hom.t -> Mdh_tensor.Buffer.env -> Mdh_tensor.Buffer.env
 (** Sequential in-place execution (alias for [Semantics.exec]), the

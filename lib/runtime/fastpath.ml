@@ -12,6 +12,7 @@ module Trace = Mdh_obs.Trace
 module Metrics = Mdh_obs.Metrics
 
 let m_hits = Metrics.counter "runtime.kernels.fastpath_hits"
+let m_errors = Metrics.counter "runtime.kernels.fastpath_errors"
 
 (* A kernel may only replace the interpreter when the combine operator is
    the builtin fp32 addition it hard-codes. *)
@@ -22,6 +23,13 @@ let is_fadd = function
 let is_cc = function Combine.Cc -> true | _ -> false
 
 let idx name = Expr.Idx name
+
+(* Multiplication commutes: a matcher must accept [x * y] written either
+   way round, so offer both operand orders and let the pattern pick. *)
+let mul_read_pairs = function
+  | Expr.Binop (Expr.Mul, (Expr.Read _ as x), (Expr.Read _ as y)) ->
+    [ (x, y); (y, x) ]
+  | _ -> []
 
 (* The input exists under the matched name with exactly the fp32 type and
    shape the kernel assumes, both as declared and as supplied. *)
@@ -66,10 +74,18 @@ let match_dot pool (md : Md_hom.t) env =
     when is_fadd op && f32_output o [| 1 |]
          && Index_fn.apply o.out_access.fn [| 0 |] = [| 0 |] -> (
     let k = md.sizes.(0) in
-    match o.value with
-    | Expr.Binop (Expr.Mul, Expr.Read (x, [ xi ]), Expr.Read (y, [ yi ]))
-      when xi = idx md.dims.(0) && yi = idx md.dims.(0)
-           && f32_input md env x [| k |] && f32_input md env y [| k |] ->
+    let matched =
+      List.find_map
+        (function
+          | Expr.Read (x, [ xi ]), Expr.Read (y, [ yi ])
+            when xi = idx md.dims.(0) && yi = idx md.dims.(0)
+                 && f32_input md env x [| k |] && f32_input md env y [| k |] ->
+            Some (x, y)
+          | _ -> None)
+        (mul_read_pairs o.value)
+    in
+    match matched with
+    | Some (x, y) ->
       Some
         { kernel = "dot";
           output = o;
@@ -77,7 +93,7 @@ let match_dot pool (md : Md_hom.t) env =
             (fun ~parallel ->
               let xv = floats env x and yv = floats env y in
               [| (if parallel then Kernels.dot_par pool xv yv else Kernels.dot_seq xv yv) |]) }
-    | _ -> None)
+    | None -> None)
   | _ -> None
 
 let match_matvec pool (md : Md_hom.t) env =
@@ -88,10 +104,18 @@ let match_matvec pool (md : Md_hom.t) env =
          && o.out_access.exprs = [ idx md.dims.(0) ] -> (
     let m = md.sizes.(0) and k = md.sizes.(1) in
     let i = md.dims.(0) and kd = md.dims.(1) in
-    match o.value with
-    | Expr.Binop (Expr.Mul, Expr.Read (mat, [ mi; mk ]), Expr.Read (v, [ vk ]))
-      when mi = idx i && mk = idx kd && vk = idx kd
-           && f32_input md env mat [| m; k |] && f32_input md env v [| k |] ->
+    let matched =
+      List.find_map
+        (function
+          | Expr.Read (mat, [ mi; mk ]), Expr.Read (v, [ vk ])
+            when mi = idx i && mk = idx kd && vk = idx kd
+                 && f32_input md env mat [| m; k |] && f32_input md env v [| k |] ->
+            Some (mat, v)
+          | _ -> None)
+        (mul_read_pairs o.value)
+    in
+    match matched with
+    | Some (mat, v) ->
       Some
         { kernel = "matvec";
           output = o;
@@ -100,7 +124,7 @@ let match_matvec pool (md : Md_hom.t) env =
               let mv = floats env mat and vv = floats env v in
               if parallel then Kernels.matvec_par pool ~m ~k mv vv
               else Kernels.matvec_seq ~m ~k mv vv) }
-    | _ -> None)
+    | None -> None)
   | _ -> None
 
 let match_matmul pool (md : Md_hom.t) env ~tile =
@@ -111,10 +135,18 @@ let match_matmul pool (md : Md_hom.t) env ~tile =
          && o.out_access.exprs = [ idx md.dims.(0); idx md.dims.(1) ] -> (
     let m = md.sizes.(0) and n = md.sizes.(1) and k = md.sizes.(2) in
     let i = md.dims.(0) and j = md.dims.(1) and kd = md.dims.(2) in
-    match o.value with
-    | Expr.Binop (Expr.Mul, Expr.Read (a, [ ai; ak ]), Expr.Read (b, [ bk; bj ]))
-      when ai = idx i && ak = idx kd && bk = idx kd && bj = idx j
-           && f32_input md env a [| m; k |] && f32_input md env b [| k; n |] ->
+    let matched =
+      List.find_map
+        (function
+          | Expr.Read (a, [ ai; ak ]), Expr.Read (b, [ bk; bj ])
+            when ai = idx i && ak = idx kd && bk = idx kd && bj = idx j
+                 && f32_input md env a [| m; k |] && f32_input md env b [| k; n |] ->
+            Some (a, b)
+          | _ -> None)
+        (mul_read_pairs o.value)
+    in
+    match matched with
+    | Some (a, b) ->
       Some
         { kernel = "matmul";
           output = o;
@@ -123,7 +155,7 @@ let match_matmul pool (md : Md_hom.t) env ~tile =
               let av = floats env a and bv = floats env b in
               if parallel then Kernels.matmul_par pool ~tile ~m ~n ~k av bv
               else Kernels.matmul_tiled ~tile ~m ~n ~k av bv) }
-    | _ -> None)
+    | None -> None)
   | _ -> None
 
 let try_run pool (plan : Plan.t) (md : Md_hom.t) env =
@@ -149,8 +181,20 @@ let try_run pool (plan : Plan.t) (md : Md_hom.t) env =
         Pool.num_workers pool > 1
         && (Plan.distributed plan <> [] || Plan.tree plan <> None)
       in
-      Metrics.incr m_hits;
-      Trace.with_span ~cat:"runtime" "exec.fastpath"
-        ~args:[ ("kernel", kernel); ("hom", md.Md_hom.hom_name) ]
-        (fun () -> Some (commit md env output (compute ~parallel)))
+      (* a hit is a kernel that *completed*: a raising kernel (degraded
+         pool, injected fault) is counted separately and the caller falls
+         back to the generic walker instead of aborting the run *)
+      match
+        Trace.with_span ~cat:"runtime" "exec.fastpath"
+          ~args:[ ("kernel", kernel); ("hom", md.Md_hom.hom_name) ]
+          (fun () ->
+            Mdh_fault.Fault.hit "kernel.run";
+            commit md env output (compute ~parallel))
+      with
+      | env' ->
+        Metrics.incr m_hits;
+        Some env'
+      | exception _ ->
+        Metrics.incr m_errors;
+        None
   end

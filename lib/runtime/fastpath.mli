@@ -5,8 +5,12 @@
     matrix-matrix, all fp32 with builtin [+] reduction — the executor can
     skip the boxed interpreter entirely. The matchers are conservative:
     exact rank, combine operators, scalar-function shape, access patterns,
-    types and extents must line up, otherwise the generic plan walker
-    runs. Hits count under [runtime.kernels.fastpath_hits].
+    types and extents must line up (multiplication operands in either
+    order), otherwise the generic plan walker runs. Completed kernel runs
+    count under [runtime.kernels.fastpath_hits]; a kernel that raises
+    (degraded pool, injected fault) counts under
+    [runtime.kernels.fastpath_errors] and the dispatch returns [None] so
+    the caller falls back to the generic walker.
 
     Kernels accumulate in double precision and round to fp32 once per
     element, so fast-path results agree with the per-op-rounding

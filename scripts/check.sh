@@ -13,13 +13,19 @@
 #     tracked: they are per-run outputs, not sources,
 #   - tuning run artifacts (checkpoints, quarantined databases, tuning.db)
 #     are tracked,
+#   - compiled-backend temp artifacts (mdh_cc_* sources/binaries, *.bin,
+#     *.o, a.out) are tracked: they belong in $TMPDIR, never in git,
 #   - the chaos stage fails: tuning under fault injection must degrade
 #     gracefully (same schedule, exit 0) and a deadline-suspended tune
 #     must resume bit-identically,
 #   - the plan-consistency stage fails: every Plan consumer must go through
 #     the Plan IR (no Schedule internals in the executor / cost model /
-#     simulator / kernel codegen) and the catalogue's default-schedule plan
-#     digests must match scripts/plan_digests.golden.
+#     simulator / kernel codegen / plan specializer) and the catalogue's
+#     default-schedule plan digests must match scripts/plan_digests.golden,
+#   - the differential stage fails: the plan-compiled specializer and (when
+#     gcc is on PATH) the compiled OpenMP C must reproduce the reference
+#     interpreter's results; without gcc the C half prints an explicit SKIP
+#     line — it is never silently skipped.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -48,6 +54,14 @@ if [ -n "$tracked_tuning" ]; then
     exit 1
 fi
 
+tracked_cc=$(git ls-files -- 'mdh_cc_*' '**/mdh_cc_*' '*.bin' '*.o' 'a.out' '**/a.out' || true)
+if [ -n "$tracked_cc" ]; then
+    echo "error: compiled-backend temp artifacts are tracked by git:" >&2
+    echo "$tracked_cc" | head -10 >&2
+    echo "(the cc backend writes to \$TMPDIR and cleans up; run: git rm --cached <file>)" >&2
+    exit 1
+fi
+
 dune build
 dune runtest
 
@@ -64,7 +78,7 @@ dune exec bin/mdhc.exe -- check --strict --file examples/mcc.mdh \
 # plan-consistency stage, part 1: Plan.t is the single executable IR.
 # The four consumers must not reach back into Schedule internals — a
 # match on Schedule fields in any of them means the refactor regressed.
-plan_consumers="lib/runtime/exec.ml lib/lowering/cost.ml lib/lowering/simulate.ml lib/codegen/kernel.ml"
+plan_consumers="lib/runtime/exec.ml lib/runtime/specializer.ml lib/lowering/cost.ml lib/lowering/simulate.ml lib/codegen/kernel.ml"
 schedule_leaks=$(grep -nE \
     'Schedule\.(clamp|legal|tile_sizes|parallel_dims|used_layers|innermost_parallel_dim|parallel_iterations)' \
     $plan_consumers || true)
@@ -86,6 +100,24 @@ diff -u scripts/plan_digests.golden "$chaos_dir/plan_digests.txt" || {
     echo "error: plan digests diverge from scripts/plan_digests.golden" >&2
     echo "(an intentional plan/schedule change must update the golden file)" >&2
     exit 1; }
+
+# differential stage: execute what we generate. The specializer backend
+# must reproduce the reference interpreter on representative workloads
+# (reduction, scan, stencil, high-rank contraction); with gcc the same
+# set round-trips through the generated OpenMP C. `mdhc run` exits
+# non-zero on any oracle mismatch, so success is the assertion.
+for wl in matmul mbbs jacobi1d 'ccsd(t)'; do
+    dune exec bin/mdhc.exe -- run "$wl" --backend special > /dev/null || {
+        echo "error: specializer differential failed on $wl" >&2; exit 1; }
+done
+if command -v gcc > /dev/null 2>&1; then
+    for wl in matmul mbbs jacobi1d 'ccsd(t)'; do
+        dune exec bin/mdhc.exe -- run "$wl" --backend cc > /dev/null || {
+            echo "error: compiled-C differential failed on $wl" >&2; exit 1; }
+    done
+else
+    echo "check.sh: SKIP compiled-C differential stage (gcc not on PATH)"
+fi
 
 # chaos stage: tuning under deterministic fault injection on each site
 # must degrade gracefully — exit 0 and the fault-free schedule

@@ -59,10 +59,42 @@ grep -q '^best schedule:' "$tmp/plain.cmp" || fail "no schedule line to compare"
 "$MDHC" run dot --metrics >"$tmp/run.txt" 2>&1 || fail "run --metrics exited non-zero"
 grep -q 'result check: OK' "$tmp/run.txt" || fail "run result check failed"
 
+# --- run backends: specializer and compiled C ---
+
+# the plan-compiled specializer executes and reports its cache traffic
+"$MDHC" run matmul --backend special --metrics >"$tmp/run_special.txt" 2>&1 ||
+  fail "run --backend special exited non-zero"
+grep -q 'result check: OK' "$tmp/run_special.txt" ||
+  fail "specializer result check failed"
+grep -q 'runtime\.specializer\.' "$tmp/run_special.txt" ||
+  fail "no specializer counters under --metrics"
+
+# the auto backend honours --no-specialize, and interp always bypasses
+"$MDHC" run matmul --parallel --no-specialize >"$tmp/run_nospec.txt" 2>&1 ||
+  fail "run --no-specialize exited non-zero"
+grep -q 'result check: OK' "$tmp/run_nospec.txt" || fail "--no-specialize check failed"
+"$MDHC" run matmul --backend interp >"$tmp/run_interp.txt" 2>&1 ||
+  fail "run --backend interp exited non-zero"
+grep -q 'result check: OK' "$tmp/run_interp.txt" || fail "interp check failed"
+
+# a record-typed workload is not specializable: a clean error, not a crash
+if "$MDHC" run prl --backend special >/dev/null 2>&1; then
+  fail "run prl --backend special exited 0"
+fi
+
+# compiled OpenMP C, when a C compiler is present (skip, never silently)
+if command -v gcc >/dev/null 2>&1; then
+  "$MDHC" run matmul --backend cc >"$tmp/run_cc.txt" 2>&1 ||
+    fail "run --backend cc exited non-zero"
+  grep -q 'result check: OK' "$tmp/run_cc.txt" || fail "compiled-C check failed"
+else
+  echo "cli_test: SKIP compiled-C backend check (gcc not on PATH)"
+fi
+
 # --- mdhc check: the static diagnostics engine ---
 
 # this PR's version
-grep -q '^1\.4\.0' "$tmp/version.txt" || fail "--version is not 1.4.0"
+grep -q '^1\.5\.0' "$tmp/version.txt" || fail "--version is not 1.5.0"
 
 # --- mdhc plan: the executable IR, printed and fingerprinted ---
 

@@ -12,6 +12,7 @@ let () =
       Test_fault.suite;
       Test_runtime.suite;
       Test_plan_exec.suite;
+      Test_specializer.suite;
       Test_baselines.suite;
       Test_workloads.suite;
       Test_pragma.suite;

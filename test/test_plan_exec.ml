@@ -3,9 +3,10 @@
    The executor walks Plan.t — the same IR the cost model, simulator and
    code generators consume — so these tests pin the contract that matters
    after the refactor: any legal schedule computes the reference result;
-   with the fast path off, the walker reproduces the pre-refactor
-   single-dim chunked executor bit-for-bit on the default schedules; layer
-   misfits are rejected rather than masked; fast-path dispatch is counted. *)
+   with the fast path and the specializer off, the walker reproduces the
+   pre-refactor single-dim chunked executor bit-for-bit on the default
+   schedules; layer misfits are rejected rather than masked; fast-path
+   dispatch is counted. *)
 
 module W = Mdh_workloads.Workload
 module Catalog = Mdh_workloads.Catalog
@@ -157,7 +158,7 @@ let test_bit_identical_to_old_executor () =
             | Ok e -> e
             | Error e -> Alcotest.failf "%s old: %s" w.W.wl_name e
           in
-          match Exec.run ~fastpath:false pool md sched env with
+          match Exec.run ~fastpath:false ~specialize:false pool md sched env with
           | Error e -> Alcotest.failf "%s new: %s" w.W.wl_name e
           | Ok new_env ->
             check Alcotest.bool (w.W.wl_name ^ " bit-identical") true
@@ -254,7 +255,10 @@ let test_chunks_per_worker_param () =
       let expected = Semantics.exec md env in
       List.iter
         (fun cpw ->
-          match Exec.run ~chunks_per_worker:cpw ~fastpath:false pool md sched env with
+          match
+            Exec.run ~chunks_per_worker:cpw ~fastpath:false ~specialize:false
+              pool md sched env
+          with
           | Error e -> Alcotest.failf "chunks_per_worker=%d: %s" cpw e
           | Ok got ->
             check Alcotest.bool
