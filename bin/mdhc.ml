@@ -20,11 +20,13 @@
      mdhc check matvec --strict
      mdhc check --file examples/mcc.mdh -P N=1 ... --json
      mdhc plan matvec --device cpu      (print the executable plan IR)
-     mdhc plan --digest                 (stable structural fingerprints) *)
+     mdhc plan --digest                 (stable structural fingerprints)
+     mdhc profile matmul                (per-plan-level time breakdown)
+     mdhc profile matmul --json --flame matmul.folded *)
 
 open Cmdliner
 
-let version = "1.5.0"
+let version = "1.6.0"
 
 module W = Mdh_workloads.Workload
 module Device = Mdh_machine.Device
@@ -176,9 +178,15 @@ let metrics_arg =
   let doc =
     "After the command, print the observability metrics summary (cost-model \
      cache hits/misses, search evaluations, tuning-db traffic, pool worker \
-     utilization) and, when tracing, a per-span timing table."
+     utilization) and, when tracing, a per-span timing table. The report \
+     goes to stderr (or $(b,--metrics-out)) so it never interleaves with \
+     machine-readable stdout."
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_out_arg =
+  let doc = "Write the $(b,--metrics) report to $(docv) instead of stderr." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc ~docv:"FILE")
 
 (* enable span collection before the command body runs; per-run counters
    (cost cache hit/miss) restart from zero so the report covers exactly
@@ -188,15 +196,24 @@ let setup_obs ~trace =
   Mdh_atf.Cost_cache.reset_stats ();
   Mdh_lowering.Plan_cache.reset_stats ()
 
-(* the summary goes to stdout after the normal output; the trace-file
-   notice goes to stderr so stdout stays bit-identical with --trace off *)
-let finish_obs ~trace ~metrics =
+(* the registry dump goes to stderr (or a file), never stdout: several
+   commands emit machine-readable stdout (SARIF, profile JSON, digests)
+   that must stay bit-identical with --metrics on or off *)
+let emit_metrics ~metrics ~metrics_out parts =
   if metrics then begin
-    let summary = Mdh_obs.Metrics.summary () in
-    if summary <> "" then print_string summary;
-    let spans = Mdh_obs.Trace.summary () in
-    if spans <> "" then print_string spans
-  end;
+    let body = String.concat "" (List.filter (fun s -> s <> "") parts) in
+    match metrics_out with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc body)
+    | None ->
+      prerr_string body;
+      flush stderr
+  end
+
+let finish_obs ~trace ~metrics ~metrics_out =
+  emit_metrics ~metrics ~metrics_out
+    [ Mdh_obs.Metrics.summary (); Mdh_obs.Trace.summary () ];
   match trace with
   | None -> ()
   | Some path ->
@@ -286,7 +303,8 @@ let show_cmd =
 let tune_cmd =
   let doc = "Auto-tune a workload's schedule with ATF and report the result." in
   let run name device input budget seed chains strategy deadline checkpoint
-      checkpoint_every resume parallel no_cache tuning_db inject trace metrics =
+      checkpoint_every resume parallel no_cache tuning_db inject trace metrics
+      metrics_out =
     setup_faults ~inject;
     setup_cache ~no_cache ~tuning_db;
     setup_obs ~trace;
@@ -307,7 +325,7 @@ let tune_cmd =
     match result with
     | Error msg -> or_die (Error msg)
     | Ok (Mdh_atf.Tuner.Suspended { checkpoint; evaluations }) ->
-      finish_obs ~trace ~metrics;
+      finish_obs ~trace ~metrics ~metrics_out;
       Printf.eprintf
         "mdhc: tune: deadline reached after %d evaluations; progress saved \
          to %s\nmdhc: rerun with --resume to continue the search\n%!"
@@ -331,18 +349,19 @@ let tune_cmd =
         Printf.printf "cost model: %d evaluations, %d cache hits\n"
           stats.Mdh_atf.Cost_cache.n_misses stats.Mdh_atf.Cost_cache.n_hits
       end;
-      finish_obs ~trace ~metrics
+      finish_obs ~trace ~metrics ~metrics_out
   in
   Cmd.v (Cmd.info "tune" ~doc)
     Term.(
       const run $ workload_arg $ device_arg $ input_arg $ budget_arg $ seed_arg
       $ chains_arg $ strategy_arg $ deadline_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ parallel_arg $ no_cache_arg
-      $ tuning_db_arg $ inject_arg $ trace_arg $ metrics_arg)
+      $ tuning_db_arg $ inject_arg $ trace_arg $ metrics_arg
+      $ metrics_out_arg)
 
 let compare_cmd =
   let doc = "Compare every system of the Figure 4 line-up on one workload." in
-  let run name device input no_cache tuning_db inject trace metrics =
+  let run name device input no_cache tuning_db inject trace metrics metrics_out =
     setup_faults ~inject;
     setup_cache ~no_cache ~tuning_db;
     setup_obs ~trace;
@@ -371,13 +390,13 @@ let compare_cmd =
           if name = "MDH" then mdh_failed := true;
           Format.printf "%-10s %a@." name Common.pp_failure f)
       systems;
-    finish_obs ~trace ~metrics;
+    finish_obs ~trace ~metrics ~metrics_out;
     if !mdh_failed then or_die (Error "the MDH system failed on this workload")
   in
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       const run $ workload_arg $ device_arg $ input_arg $ no_cache_arg
-      $ tuning_db_arg $ inject_arg $ trace_arg $ metrics_arg)
+      $ tuning_db_arg $ inject_arg $ trace_arg $ metrics_arg $ metrics_out_arg)
 
 let codegen_cmd =
   let doc = "Generate kernel source (CUDA for the GPU device, OpenCL for the \
@@ -466,7 +485,8 @@ let run_cmd =
     let doc = "Disable the plan-compiled specializer (auto backend only)." in
     Arg.(value & flag & info [ "no-specialize" ] ~doc)
   in
-  let run name input seed parallel backend no_specialize trace metrics =
+  let run name input seed parallel backend no_specialize trace metrics
+      metrics_out =
     setup_obs ~trace;
     let w = or_die (find_workload name) in
     let params = or_die (params_of w input) in
@@ -533,17 +553,17 @@ let run_cmd =
       in
       print_endline (if ok then "result check: OK" else "result check: MISMATCH");
       if not ok then begin
-        finish_obs ~trace ~metrics;
+        finish_obs ~trace ~metrics ~metrics_out;
         exit 1
       end);
-    finish_obs ~trace ~metrics
+    finish_obs ~trace ~metrics ~metrics_out
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ workload_arg
       $ Arg.(value & opt string "test" & info [ "input"; "i" ])
       $ seed_arg $ parallel_arg $ backend_arg $ no_specialize_arg $ trace_arg
-      $ metrics_arg)
+      $ metrics_arg $ metrics_out_arg)
 
 let check_cmd =
   let doc =
@@ -575,7 +595,7 @@ let check_cmd =
     let doc = "Treat warnings as fatal: exit 1 when any warning is reported." in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
-  let run workload file params json strict metrics =
+  let run workload file params json strict metrics metrics_out =
     let targets =
       match (file, workload) with
       | Some f, _ ->
@@ -610,16 +630,13 @@ let check_cmd =
         (Mdh_analysis.Diagnostic.warning_count all)
         (Mdh_analysis.Diagnostic.hint_count all)
     end;
-    if metrics then begin
-      let summary = Mdh_obs.Metrics.summary () in
-      if summary <> "" then print_string summary
-    end;
+    emit_metrics ~metrics ~metrics_out [ Mdh_obs.Metrics.summary () ];
     exit (Mdh_analysis.Diagnostic.exit_code ~strict all)
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ workload_opt_arg $ file_arg $ params_arg $ json_arg
-      $ strict_arg $ metrics_arg)
+      $ strict_arg $ metrics_arg $ metrics_out_arg)
 
 let plan_cmd =
   let doc =
@@ -649,7 +666,7 @@ let plan_cmd =
     let doc = "Print only $(i,workload device digest) lines." in
     Arg.(value & flag & info [ "digest" ] ~doc)
   in
-  let run workload device input schedule digest no_cache metrics =
+  let run workload device input schedule digest no_cache metrics metrics_out =
     if no_cache then Mdh_lowering.Plan_cache.set_enabled false;
     Mdh_lowering.Plan_cache.reset_stats ();
     let workloads =
@@ -698,16 +715,297 @@ let plan_cmd =
                   Mdh_lowering.Plan.pp plan)
           devices)
       workloads;
-    if metrics then begin
-      let summary = Mdh_obs.Metrics.summary () in
-      if summary <> "" then print_string summary
-    end
+    emit_metrics ~metrics ~metrics_out [ Mdh_obs.Metrics.summary () ]
   in
   Cmd.v (Cmd.info "plan" ~doc)
     Term.(
       const run $ workload_opt_arg $ device_opt_arg
       $ Arg.(value & opt string "test" & info [ "input"; "i" ] ~docv:"1|2|test")
-      $ schedule_arg $ digest_arg $ no_cache_arg $ metrics_arg)
+      $ schedule_arg $ digest_arg $ no_cache_arg $ metrics_arg
+      $ metrics_out_arg)
+
+let profile_cmd =
+  let doc =
+    "Execute a workload with the plan-level profiler enabled and report \
+     where the wall time went: one row per plan level (addressed by its \
+     position in the plan tree, outermost first), the point computation \
+     and the write-back, each with its measured share of the enclosing \
+     execution span next to the cost model's attribution for the same \
+     level — so systematic model/machine disagreements are visible per \
+     level, not just in the total. Backend phases (specializer compile \
+     vs run, walker) are listed separately. $(b,--json) emits the \
+     mdh-profile/1 document instead; $(b,--flame) additionally writes \
+     collapsed stacks (one level chain per line, self time in \
+     microseconds) for flamegraph.pl / speedscope."
+  in
+  let backend_arg =
+    let doc =
+      "Execution backend to profile: $(b,auto) (plan-compiled specializer \
+       when the workload supports it, generic walker otherwise), \
+       $(b,special) (error if not specializable) or $(b,interp). The \
+       fastpath is disabled so the plan levels actually execute."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("auto", `Auto); ("interp", `Interp); ("special", `Special) ]) `Auto
+      & info [ "backend" ] ~doc ~docv:"auto|special|interp")
+  in
+  let schedule_arg =
+    let doc =
+      "Profile this explicit schedule (mdhc tune's syntax) instead of the \
+       default host schedule (the per-device lowering default restricted \
+       to the pool's single layer — the same schedule the plan-execution \
+       benchmark times)."
+    in
+    Arg.(value & opt (some string) None & info [ "schedule" ] ~doc ~docv:"SCHED")
+  in
+  let repeat_arg =
+    let doc = "Number of profiled runs to accumulate (same plan digest)." in
+    Arg.(value & opt int 3 & info [ "repeat"; "r" ] ~doc ~docv:"N")
+  in
+  let json_arg =
+    let doc = "Emit the profile as JSON (schema mdh-profile/1) on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let flame_arg =
+    let doc =
+      "Write the per-level self times as collapsed flamegraph stacks to \
+       $(docv) (workload;digest;L0;...;Lk self_microseconds)."
+    in
+    Arg.(value & opt (some string) None & info [ "flame" ] ~doc ~docv:"FILE")
+  in
+  let json_escape s =
+    let b = Stdlib.Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Stdlib.Buffer.add_string b "\\\""
+        | '\\' -> Stdlib.Buffer.add_string b "\\\\"
+        | '\n' -> Stdlib.Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Stdlib.Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Stdlib.Buffer.add_char b c)
+      s;
+    Stdlib.Buffer.contents b
+  in
+  let run name input schedule backend repeat json flame seed trace metrics
+      metrics_out =
+    setup_obs ~trace;
+    let w = or_die (find_workload name) in
+    let params = or_die (params_of w input) in
+    let md = W.to_md_hom w params in
+    let wl = String.lowercase_ascii w.W.wl_name in
+    let repeat = max 1 repeat in
+    let env = w.W.gen params ~seed in
+    Mdh_obs.Profile.set_enabled true;
+    Mdh_runtime.Pool.with_pool @@ fun pool ->
+    let dev = Mdh_runtime.Exec.host_device pool in
+    let sched =
+      match schedule with
+      | Some s -> or_die (Schedule.of_string s)
+      | None ->
+        { (Mdh_lowering.Lower.mdh_default md Device.xeon6140_like) with
+          Schedule.used_layers = [ 0 ] }
+    in
+    let plan = or_die (Mdh_lowering.Plan_cache.build md dev sched) in
+    let digest = Mdh_lowering.Plan.digest plan in
+    let backend_name =
+      match backend with
+      | `Special ->
+        (match Mdh_runtime.Specializer.supported plan md with
+        | Ok () -> "special"
+        | Error e -> or_die (Error ("specializer: " ^ e)))
+      | `Interp -> "interp"
+      | `Auto -> (
+        match Mdh_runtime.Specializer.supported plan md with
+        | Ok () -> "special"
+        | Error _ -> "interp")
+    in
+    let run_once () =
+      if backend_name = "special" then
+        match Mdh_runtime.Specializer.try_run pool plan md env with
+        | Some _ -> ()
+        | None ->
+          or_die (Error "specializer: input buffers do not match the plan")
+      else
+        ignore
+          (or_die
+             (Mdh_runtime.Exec.run ~fastpath:false ~specialize:false pool md
+                sched env))
+    in
+    let (), wall =
+      Mdh_support.Util.time_it (fun () ->
+          for _ = 1 to repeat do
+            run_once ()
+          done)
+    in
+    let entries = Mdh_obs.Profile.snapshot digest in
+    let find p =
+      List.find_opt (fun e -> e.Mdh_obs.Profile.path = p) entries
+    in
+    let exec_s =
+      match find "exec" with
+      | Some e -> e.Mdh_obs.Profile.total_s
+      | None -> 0.0
+    in
+    let model = Cost.level_attribution plan in
+    let model_paths = List.map (fun s -> s.Cost.ls_path) model in
+    (* measured cells the model has no counterpart for: write-back,
+       walker recombine, post-scan passes — shown with a blank model
+       column *)
+    let extras =
+      List.filter
+        (fun e ->
+          let p = e.Mdh_obs.Profile.path in
+          p <> "exec"
+          && not (List.mem p model_paths)
+          && not (String.length p > 6 && String.sub p 0 6 = "phase:"))
+        entries
+    in
+    let phases =
+      List.filter
+        (fun e ->
+          let p = e.Mdh_obs.Profile.path in
+          String.length p > 6 && String.sub p 0 6 = "phase:")
+        entries
+    in
+    let self_of p =
+      match find p with
+      | Some e -> (e.Mdh_obs.Profile.count, e.Mdh_obs.Profile.total_s)
+      | None -> (0, 0.0)
+    in
+    let frac s = if exec_s > 0.0 then s /. exec_s else 0.0 in
+    (match flame with
+    | None -> ()
+    | Some path ->
+      (* collapsed stacks: plan levels are one nest, so level i's stack
+         is the chain L0;..;Li; leaf sits under the full chain and
+         unmodelled cells under the root *)
+      Out_channel.with_open_text path (fun oc ->
+          let clean s =
+            String.map (fun c -> if c = ';' || c = '\n' then ',' else c) s
+          in
+          let chain = ref [ digest; wl ] in
+          List.iter
+            (fun (s : Cost.level_share) ->
+              let frame =
+                if s.Cost.ls_path = "leaf" then "leaf"
+                else s.Cost.ls_path ^ " " ^ clean s.Cost.ls_label
+              in
+              chain := frame :: !chain;
+              let _, self_s = self_of s.Cost.ls_path in
+              let us = int_of_float (Float.round (self_s *. 1e6)) in
+              if us > 0 then
+                Printf.fprintf oc "%s %d\n"
+                  (String.concat ";" (List.rev !chain))
+                  us)
+            model;
+          List.iter
+            (fun (e : Mdh_obs.Profile.entry) ->
+              let us =
+                int_of_float (Float.round (e.Mdh_obs.Profile.total_s *. 1e6))
+              in
+              if us > 0 then
+                Printf.fprintf oc "%s;%s;%s %d\n" wl digest
+                  (clean e.Mdh_obs.Profile.path)
+                  us)
+            extras);
+      Printf.eprintf "flamegraph stacks written to %s\n%!" path);
+    if json then begin
+      let level_json (s : Cost.level_share) =
+        let count, self_s = self_of s.Cost.ls_path in
+        Printf.sprintf
+          "    { \"path\": \"%s\", \"label\": \"%s\", \"count\": %d, \
+           \"self_s\": %.9f, \"measured_fraction\": %.6f, \
+           \"model_fraction\": %.6f }"
+          (json_escape s.Cost.ls_path)
+          (json_escape s.Cost.ls_label)
+          count self_s (frac self_s) s.Cost.ls_fraction
+      in
+      let extra_json (e : Mdh_obs.Profile.entry) =
+        Printf.sprintf
+          "    { \"path\": \"%s\", \"label\": \"%s\", \"count\": %d, \
+           \"self_s\": %.9f, \"measured_fraction\": %.6f }"
+          (json_escape e.Mdh_obs.Profile.path)
+          (json_escape e.Mdh_obs.Profile.path)
+          e.Mdh_obs.Profile.count e.Mdh_obs.Profile.total_s
+          (frac e.Mdh_obs.Profile.total_s)
+      in
+      let phase_json (e : Mdh_obs.Profile.entry) =
+        Printf.sprintf
+          "    { \"path\": \"%s\", \"count\": %d, \"seconds\": %.9f }"
+          (json_escape e.Mdh_obs.Profile.path)
+          e.Mdh_obs.Profile.count e.Mdh_obs.Profile.total_s
+      in
+      Printf.printf
+        "{\n\
+        \  \"schema\": \"mdh-profile/1\",\n\
+        \  \"workload\": \"%s\",\n\
+        \  \"input\": \"%s\",\n\
+        \  \"digest\": \"%s\",\n\
+        \  \"backend\": \"%s\",\n\
+        \  \"runs\": %d,\n\
+        \  \"wall_s\": %.9f,\n\
+        \  \"exec_s\": %.9f,\n\
+        \  \"levels\": [\n%s\n  ],\n\
+        \  \"phases\": [\n%s\n  ]\n\
+         }\n"
+        (json_escape wl) (json_escape input) digest backend_name repeat wall
+        exec_s
+        (String.concat ",\n"
+           (List.map level_json model @ List.map extra_json extras))
+        (String.concat ",\n" (List.map phase_json phases))
+    end
+    else begin
+      Printf.printf "%s (input %s) — digest %s, backend %s, %d run(s)\n" wl
+        input digest backend_name repeat;
+      let row path label count self_s mfrac =
+        Printf.printf "  %-9s %-52s %10.3f ms %6.1f%% %s  (×%d)\n" path
+          (if String.length label > 52 then String.sub label 0 52 else label)
+          (self_s *. 1e3)
+          (100.0 *. frac self_s)
+          (match mfrac with
+          | Some f -> Printf.sprintf "%6.1f%%" (100.0 *. f)
+          | None -> "     —")
+          count
+      in
+      Printf.printf "  %-9s %-52s %13s %7s %7s\n" "path" "plan level"
+        "measured" "share" "model";
+      List.iter
+        (fun (s : Cost.level_share) ->
+          let count, self_s = self_of s.Cost.ls_path in
+          row s.Cost.ls_path s.Cost.ls_label count self_s
+            (Some s.Cost.ls_fraction))
+        model;
+      List.iter
+        (fun (e : Mdh_obs.Profile.entry) ->
+          row e.Mdh_obs.Profile.path e.Mdh_obs.Profile.path
+            e.Mdh_obs.Profile.count e.Mdh_obs.Profile.total_s None)
+        extras;
+      Printf.printf "  %-9s %-52s %10.3f ms %6.1f%%\n" "exec"
+        "total (CPU time across workers)" (exec_s *. 1e3)
+        (if exec_s > 0.0 then 100.0 else 0.0);
+      Printf.printf "  wall: %.4fs over %d run(s)\n" wall repeat;
+      if phases <> [] then begin
+        print_endline "phases:";
+        List.iter
+          (fun (e : Mdh_obs.Profile.entry) ->
+            Printf.printf "  %-26s %10.3f ms  (×%d)\n"
+              (String.sub e.Mdh_obs.Profile.path 6
+                 (String.length e.Mdh_obs.Profile.path - 6))
+              (e.Mdh_obs.Profile.total_s *. 1e3)
+              e.Mdh_obs.Profile.count)
+          phases
+      end
+    end;
+    finish_obs ~trace ~metrics ~metrics_out
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ workload_arg
+      $ Arg.(value & opt string "test" & info [ "input"; "i" ] ~docv:"1|2|test")
+      $ schedule_arg $ backend_arg $ repeat_arg $ json_arg $ flame_arg
+      $ seed_arg $ trace_arg $ metrics_arg $ metrics_out_arg)
 
 let () =
   (match Mdh_fault.Fault.arm_from_env () with
@@ -720,5 +1018,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; devices_cmd; show_cmd; plan_cmd; tune_cmd; compare_cmd;
-            run_cmd; compile_cmd; codegen_cmd; check_cmd ]))
+          [ list_cmd; devices_cmd; show_cmd; plan_cmd; profile_cmd; tune_cmd;
+            compare_cmd; run_cmd; compile_cmd; codegen_cmd; check_cmd ]))

@@ -5,6 +5,22 @@ module Dense = Mdh_tensor.Dense
 module Scalar = Mdh_tensor.Scalar
 module Shape = Mdh_tensor.Shape
 module Combine = Mdh_combine.Combine
+module Trace = Mdh_obs.Trace
+module Metrics = Mdh_obs.Metrics
+
+(* gcc invocation vs driver execution: the two phases a compiled-C run
+   spends its wall time in, visible on the registry and in Chrome traces *)
+let h_build = Metrics.histogram "codegen.cc.build_s"
+let h_run = Metrics.histogram "codegen.cc.run_s"
+
+let observed h f =
+  let t0 = Mdh_obs.Clock.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.observe h
+        (Mdh_obs.Clock.ns_to_s
+           (Int64.sub (Mdh_obs.Clock.now_ns ()) t0)))
+    f
 
 type t = {
   md : Md_hom.t;
@@ -120,6 +136,10 @@ let read_file path =
 let build (md : Md_hom.t) =
   if not (available ()) then Error "compiled-C backend: gcc not found on PATH"
   else
+    observed h_build @@ fun () ->
+    Trace.with_span ~cat:"codegen" "cc.build"
+      ~args:[ ("hom", md.Md_hom.hom_name) ]
+    @@ fun () ->
     match eligible md with
     | Error _ as e -> e
     | Ok () -> (
@@ -165,6 +185,10 @@ let read_f32_file path n =
                Int32.float_of_bits (String.get_int32_le s (4 * i)))))
 
 let run t env =
+  observed h_run @@ fun () ->
+  Trace.with_span ~cat:"codegen" "cc.run"
+    ~args:[ ("hom", t.md.Md_hom.hom_name) ]
+  @@ fun () ->
   let md = t.md in
   match Semantics.alloc_outputs md env with
   | exception Semantics.Semantic_error e -> Error e

@@ -202,6 +202,54 @@ let analyse_plan ?(include_transfers = false) (md : Md_hom.t) (dev : Device.t) c
     { stats; efficiency; breakdown; achieved_units;
       tile_working_set_bytes = working_set; n_tiles }
 
+(* --- per-level attribution -------------------------------------------- *)
+
+type level_share = {
+  ls_path : string;
+  ls_label : string;
+  ls_fraction : float;
+}
+
+let level_attribution (plan : Plan.t) =
+  (* iteration count a level contributes at its own depth *)
+  let iters = function
+    | Plan.Distribute { extents; _ } -> List.fold_left ( * ) 1 extents
+    | Plan.Tree_reduce { extent; _ } -> extent
+    | Plan.Tile { tile; extent; _ } -> Util.ceil_div extent tile
+    | Plan.Seq { extent; _ } -> extent
+    | Plan.Accumulate { extent; _ } -> extent
+    | Plan.Scan { extent; _ } -> extent
+  in
+  (* weight of a level = how many times its loop body is entered (the
+     running product of enclosing iteration counts); the leaf additionally
+     carries the scalar-function cost per point. This is the model-side
+     counterpart of the profiler's per-level self time: loop control is
+     priced per entry, point work per flop. *)
+  let entered = ref 1.0 in
+  let weights =
+    List.mapi
+      (fun i lvl ->
+        let w = !entered *. float_of_int (max 1 (iters lvl)) in
+        entered := w;
+        (i, lvl, w))
+      plan.Plan.levels
+  in
+  let leaf_w = !entered *. float_of_int (max 1 plan.Plan.point_flops) in
+  let total =
+    leaf_w +. List.fold_left (fun a (_, _, w) -> a +. w) 0.0 weights
+  in
+  List.map
+    (fun (i, lvl, w) ->
+      { ls_path = "L" ^ string_of_int i;
+        ls_label = Format.asprintf "%a" Plan.pp_level lvl;
+        ls_fraction = w /. total })
+    weights
+  @ [ { ls_path = "leaf";
+        ls_label =
+          Printf.sprintf "point: scalar function (%d ops)"
+            plan.Plan.point_flops;
+        ls_fraction = leaf_w /. total } ]
+
 let analyse ?include_transfers (md : Md_hom.t) (dev : Device.t) cg sched =
   Result.map
     (fun plan -> analyse_plan ?include_transfers md dev cg plan)

@@ -65,6 +65,20 @@ val analyse :
 (** [analyse_plan] over the schedule's plan (built through {!Plan_cache});
     [Error] iff the schedule is illegal for the computation. *)
 
+type level_share = {
+  ls_path : string;  (** profiler path of the level: ["L0"].. or ["leaf"] *)
+  ls_label : string;  (** human label, {!Plan.pp_level}'s rendering *)
+  ls_fraction : float;  (** model-attributed share of the run, in [0,1] *)
+}
+
+val level_attribution : Plan.t -> level_share list
+(** The model's time attribution across a plan's levels: each level is
+    charged one unit per entry of its loop body (the running product of
+    enclosing iteration counts), the leaf additionally carries the
+    scalar-function flops per point. Fractions sum to 1; one entry per
+    plan level, outermost first, the leaf last — paths match the
+    profiler's, so measured and modelled shares line up row by row. *)
+
 val seconds :
   ?include_transfers:bool ->
   Mdh_core.Md_hom.t ->

@@ -80,6 +80,10 @@ val tiled : t -> (int * int) list
 val pp : Format.formatter -> t -> unit
 (** Indented tree rendering. *)
 
+val pp_level : Format.formatter -> level -> unit
+(** One level of {!pp}'s rendering, without indentation — the label the
+    profiler's tree view puts next to a level's measured time. *)
+
 val parallelism : t -> int
 (** Units of parallel work the plan actually achieves on its device:
     [par_iters] split evenly over [usable_units]. By construction this is

@@ -20,9 +20,38 @@ let host_device pool =
 
 module Trace = Mdh_obs.Trace
 module Metrics = Mdh_obs.Metrics
+module Clock = Mdh_obs.Clock
+module Profile = Mdh_obs.Profile
 
 let m_runs = Metrics.counter "runtime.exec.runs"
 let m_boxes = Metrics.counter "runtime.exec.boxes"
+
+(* time a backend attempt and attribute it to a profile phase cell when it
+   actually handled the run; a refused attempt (None) is matcher overhead,
+   far below profiling resolution *)
+let timed_phase ~digest ~path f =
+  if not (Profile.enabled ()) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    let r = f () in
+    (match r with
+    | Some _ ->
+      Profile.add ~digest ~path
+        (Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0))
+    | None -> ());
+    r
+  end
+
+(* plan-level indices of the parallel levels, for attributing the box
+   walker's per-job time back to the plan tree *)
+let parallel_level_indices plan =
+  let rec go i dist tree = function
+    | [] -> (dist, tree)
+    | Plan.Distribute _ :: rest -> go (i + 1) i tree rest
+    | Plan.Tree_reduce _ :: rest -> go (i + 1) dist i rest
+    | _ :: rest -> go (i + 1) dist tree rest
+  in
+  go 0 (-1) (-1) plan.Plan.levels
 
 let run_seq md env =
   Trace.with_span ~cat:"runtime" "exec.seq"
@@ -91,13 +120,18 @@ let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = tr
   | Error _ as e -> e
   | Ok plan ->
     Metrics.incr m_runs;
+    let digest = if Profile.enabled () then Plan.digest plan else "" in
     Trace.with_span ~cat:"runtime" "exec.run"
       ~args:[ ("hom", md.Md_hom.hom_name) ]
       (fun () ->
         match
-          match if fastpath then Fastpath.try_run pool plan md env else None with
+          match
+            timed_phase ~digest ~path:"phase:fastpath" (fun () ->
+                if fastpath then Fastpath.try_run pool plan md env else None)
+          with
           | Some env -> Some env
           | None ->
+            (* the specializer attributes its own compile/run phases *)
             if specialize then Specializer.try_run pool plan md env else None
         with
         | Some env -> Ok env
@@ -106,6 +140,24 @@ let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = tr
           let cc, tree = decompose plan ~target in
           if cc = [] && tree = None then Ok (run_seq md env)
           else begin
+            (* profiled walker attribution is coarse by nature: the box
+               walker interprets per point, so measured time lands on the
+               parallel plan levels driving the boxes (plus recombine);
+               levels inside a box are not individually metered *)
+            let profiling = Profile.enabled () in
+            let walker_t0 = Clock.now_ns () in
+            let dist_lvl, tree_lvl = parallel_level_indices plan in
+            let box_path treepart =
+              if treepart <> None && tree_lvl >= 0 then
+                "L" ^ string_of_int tree_lvl
+              else if dist_lvl >= 0 then "L" ^ string_of_int dist_lvl
+              else if tree_lvl >= 0 then "L" ^ string_of_int tree_lvl
+              else "boxes"
+            in
+            let profile_add path dt =
+              Profile.add ~digest ~path dt;
+              Profile.add ~digest ~path:"exec" dt
+            in
             let env = Semantics.alloc_outputs md env in
             let rank = Md_hom.rank md in
             let tiles = box_tiles md plan in
@@ -145,13 +197,21 @@ let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = tr
                              sz.(td) <- s
                            | None -> ());
                            Metrics.incr m_boxes;
-                           Trace.with_span ~cat:"runtime" "exec.box"
-                             ~args:
-                               [ ("output", o.Md_hom.out_name);
-                                 ("box", string_of_int j) ]
-                             (fun () ->
-                               Semantics.eval_box_tiled md env o ~lo ~sz
-                                 ~tile_sizes:tiles))
+                           let t0 = if profiling then Clock.now_ns () else 0L in
+                           let r =
+                             Trace.with_span ~cat:"runtime" "exec.box"
+                               ~args:
+                                 [ ("output", o.Md_hom.out_name);
+                                   ("box", string_of_int j) ]
+                               (fun () ->
+                                 Semantics.eval_box_tiled md env o ~lo ~sz
+                                   ~tile_sizes:tiles)
+                           in
+                           if profiling then
+                             profile_add (box_path treepart)
+                               (Clock.ns_to_s
+                                  (Int64.sub (Clock.now_ns ()) t0));
+                           r)
                        jobs)
                 in
                 let partials = Pool.run_in_parallel pool thunks in
@@ -172,6 +232,7 @@ let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = tr
                   let op = md.combine_ops.(td) in
                   List.iteri
                     (fun g box ->
+                      let t0 = if profiling then Clock.now_ns () else 0L in
                       let combined =
                         Trace.with_span ~cat:"runtime" "exec.recombine"
                           ~args:[ ("output", o.Md_hom.out_name) ]
@@ -188,11 +249,19 @@ let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = tr
                             done;
                             !acc)
                       in
+                      if profiling then
+                        profile_add
+                          (if tree_lvl >= 0 then "L" ^ string_of_int tree_lvl
+                           else "recombine")
+                          (Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0));
                       match combined with
                       | Some tensor ->
                         Semantics.write_output env md o ~lo:(box_lo box) tensor
                       | None -> ())
                     cc_boxes)
               md.outputs;
+            if profiling then
+              Profile.add ~digest ~path:"phase:walker"
+                (Clock.ns_to_s (Int64.sub (Clock.now_ns ()) walker_t0));
             Ok env
           end)

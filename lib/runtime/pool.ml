@@ -27,6 +27,12 @@ type t = {
       (* set when the watchdog expires: the pool may still be wedged
          behind a stuck worker, so every later job runs sequentially in
          the caller instead of aborting the run *)
+  pub_mutex : Mutex.t;
+  mutable pub_jobs : int;
+  mutable pub_busy_s : float;
+  mutable pub_capacity_s : float;
+      (* totals already pushed onto the registry, so [publish_metrics] can
+         run any number of times mid-flight and only add the delta *)
 }
 
 exception Watchdog_timeout
@@ -87,7 +93,9 @@ let create ?num_domains ?watchdog_s () =
       job_done = Condition.create (); job = None; generation = 0; active = 0;
       stop = false; stopped = false; in_job = Atomic.make false;
       busy_ns = Array.make (n + 1) 0L; jobs = Atomic.make 0;
-      created_ns = Clock.now_ns (); watchdog_s; is_degraded = Atomic.make false }
+      created_ns = Clock.now_ns (); watchdog_s; is_degraded = Atomic.make false;
+      pub_mutex = Mutex.create (); pub_jobs = 0; pub_busy_s = 0.0;
+      pub_capacity_s = 0.0 }
   in
   pool.domains <- Array.init n (fun i -> Domain.spawn (worker pool i));
   pool
@@ -334,20 +342,30 @@ let stats t =
     utilization }
 
 let publish_metrics t =
-  let s = stats t in
-  let n_domains = Array.length t.domains in
-  Metrics.add m_jobs s.jobs_run;
-  Metrics.set m_workers (float_of_int s.workers);
-  if n_domains > 0 then begin
-    (* busy and capacity cover the worker domains only, mirroring
-       [stats]: cumulative across every pool this process has retired *)
-    Metrics.add_gauge m_busy
-      (Array.fold_left ( +. ) 0.0 (Array.sub s.busy_s 1 n_domains));
-    Metrics.add_gauge m_capacity (s.wall_s *. float_of_int n_domains);
-    let capacity = Metrics.gauge_value m_capacity in
-    if capacity > 0.0 then
-      Metrics.set m_utilization (Metrics.gauge_value m_busy /. capacity)
-  end
+  (* delta-publish so a live pool can be scraped any number of times
+     before shutdown without double-counting its history *)
+  Mutex.lock t.pub_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.pub_mutex)
+    (fun () ->
+      let s = stats t in
+      let n_domains = Array.length t.domains in
+      Metrics.add m_jobs (s.jobs_run - t.pub_jobs);
+      t.pub_jobs <- s.jobs_run;
+      Metrics.set m_workers (float_of_int s.workers);
+      if n_domains > 0 then begin
+        (* busy and capacity cover the worker domains only, mirroring
+           [stats]: cumulative across every pool this process has retired *)
+        let busy = Array.fold_left ( +. ) 0.0 (Array.sub s.busy_s 1 n_domains) in
+        let capacity_now = s.wall_s *. float_of_int n_domains in
+        Metrics.add_gauge m_busy (busy -. t.pub_busy_s);
+        Metrics.add_gauge m_capacity (capacity_now -. t.pub_capacity_s);
+        t.pub_busy_s <- busy;
+        t.pub_capacity_s <- capacity_now;
+        let capacity = Metrics.gauge_value m_capacity in
+        if capacity > 0.0 then
+          Metrics.set m_utilization (Metrics.gauge_value m_busy /. capacity)
+      end)
 
 let shutdown t =
   if not t.stopped then begin

@@ -82,6 +82,15 @@ type stats = {
 val stats : t -> stats
 (** Instantaneous observability snapshot; cheap and safe while jobs run. *)
 
+val publish_metrics : t -> unit
+(** Push the pool's utilization onto the [Mdh_obs.Metrics] registry
+    ([runtime.pool.jobs], [runtime.pool.busy_s], [runtime.pool.capacity_s],
+    [runtime.pool.utilization], [runtime.pool.workers]) without waiting
+    for {!shutdown}: a long-running process can be scraped mid-flight.
+    Publishes only the delta since the previous call on this pool, so
+    repeated snapshots (and the final one at shutdown) never double-count.
+    Safe to call concurrently and while jobs are running. *)
+
 val shutdown : t -> unit
 (** Join the worker domains. The pool must not be used afterwards.
     Idempotent. Publishes the pool's lifetime totals onto the

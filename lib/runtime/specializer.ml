@@ -11,10 +11,18 @@ module Plan = Mdh_lowering.Plan
 module Memo = Mdh_support.Memo
 module Trace = Mdh_obs.Trace
 module Metrics = Mdh_obs.Metrics
+module Clock = Mdh_obs.Clock
+module Profile = Mdh_obs.Profile
 
 let m_hits = Metrics.counter "runtime.specializer.hits"
 let m_misses = Metrics.counter "runtime.specializer.misses"
 let m_compiles = Metrics.counter "runtime.specializer.compiles"
+
+(* per-phase latency: compilation (cache misses only) vs execution of the
+   compiled closure — hit/miss counters alone leave compiled-plan time
+   invisible in traces *)
+let h_compile = Metrics.histogram "runtime.specializer.compile_s"
+let h_run = Metrics.histogram "runtime.specializer.run_s"
 
 exception Unsupported of string
 
@@ -317,10 +325,15 @@ type out_plan = {
 }
 
 type compiled = {
+  digest : string;  (** [Plan.digest] of the source plan, the profile key *)
   rank : int;
   nest : nest_step array;  (** the plan's sequential levels, outermost first *)
+  nest_levels : int array;
+      (** plan-level index ([Plan.levels] position) of each nest step *)
   dist : (int * int) array;  (** distributed (dim, extent), outer first *)
+  dist_level : int;  (** plan-level index of the [Distribute] level, or -1 *)
   tree : (int * int) option;  (** tree-reduce (dim, extent) *)
+  tree_level : int;  (** plan-level index of the [Tree_reduce] level, or -1 *)
   acc_shape : int array;  (** [Md_hom.result_shape] *)
   acc_size : int;
   astride : int array;  (** accumulator stride per iteration dim; 0 on pw dims *)
@@ -328,6 +341,8 @@ type compiled = {
       (** identity and combiner of the (single) pw operator *)
   scans : (int * (float -> float -> float)) array;
       (** ps dims with their combiners, innermost first *)
+  scan_levels : int array;
+      (** plan-level index of each [scans] entry's [Scan] level, or -1 *)
   n_base : int;
   slots : slots;
   outs : out_plan list;
@@ -390,26 +405,42 @@ let compile (plan : Plan.t) (md : Md_hom.t) =
         s
     in
     (* loop nest from the plan's sequential levels, in level order;
-       distributed and tree dims are driven by the executor above it *)
+       distributed and tree dims are driven by the executor above it.
+       Each step keeps its position in [plan.levels] so the profiler can
+       address measured time back to the plan tree. *)
     let tiles = Hashtbl.create 4 in
     let n_base = ref 0 in
     let nest =
       List.filter_map
-        (function
+        (fun (lvl_idx, level) ->
+          match level with
           | Plan.Tile { dim; tile; extent } ->
             let slot = !n_base in
             incr n_base;
             Hashtbl.replace tiles dim (tile, extent, slot);
-            Some (S_tile_outer { tile; extent; slot })
+            Some (lvl_idx, S_tile_outer { tile; extent; slot })
           | Plan.Seq { dim; extent } -> (
             match Hashtbl.find_opt tiles dim with
             | Some (tile, full, slot) ->
-              Some (S_tile_inner { dim; tile; extent = full; slot })
-            | None -> Some (S_loop { dim; extent }))
+              Some (lvl_idx, S_tile_inner { dim; tile; extent = full; slot })
+            | None -> Some (lvl_idx, S_loop { dim; extent }))
           | Plan.Accumulate { dim; extent; _ } | Plan.Scan { dim; extent; _ } ->
-            Some (S_loop { dim; extent })
+            Some (lvl_idx, S_loop { dim; extent })
           | Plan.Distribute _ | Plan.Tree_reduce _ -> None)
-        plan.Plan.levels
+        (List.mapi (fun i l -> (i, l)) plan.Plan.levels)
+    in
+    let level_index pred =
+      let rec go i = function
+        | [] -> -1
+        | l :: rest -> if pred l then i else go (i + 1) rest
+      in
+      go 0 plan.Plan.levels
+    in
+    let dist_level =
+      level_index (function Plan.Distribute _ -> true | _ -> false)
+    in
+    let tree_level =
+      level_index (function Plan.Tree_reduce _ -> true | _ -> false)
     in
     let dist = Array.of_list (Plan.distributed plan) in
     let tree = Option.map (fun (d, extent, _) -> (d, extent)) (Plan.tree plan) in
@@ -444,9 +475,20 @@ let compile (plan : Plan.t) (md : Md_hom.t) =
           { out = o; build_point; direct_write })
         md.outputs
     in
+    let scan_levels =
+      Array.map
+        (fun (d, _) ->
+          level_index (function
+            | Plan.Scan { dim; _ } -> dim = d
+            | _ -> false))
+        scans
+    in
     Ok
-      { rank; nest = Array.of_list nest; dist; tree; acc_shape; acc_size;
-        astride; pw; scans; n_base = !n_base; slots; outs }
+      { digest = Plan.digest plan; rank;
+        nest = Array.of_list (List.map snd nest);
+        nest_levels = Array.of_list (List.map fst nest);
+        dist; dist_level; tree; tree_level; acc_shape; acc_size;
+        astride; pw; scans; scan_levels; n_base = !n_base; slots; outs }
   with Unsupported msg -> Error msg
 
 (* --- execution -------------------------------------------------------- *)
@@ -509,6 +551,107 @@ let run_nest c st pf acc =
   in
   go 0
 
+(* --- per-level profiling ---------------------------------------------- *)
+
+(* [run_nest] with a clock around every level entry: [tot.(l)] accumulates
+   the inclusive wall time of nest step [l] (deeper levels included), so
+   self time telescopes exactly — self(l) = tot(l) - tot(l+1), and slot
+   [n] is the point computation itself. Clock reads at a child's boundary
+   land in the parent's self time; the totals still telescope, which is
+   what keeps the per-level sum equal to the in-nest time. Only used when
+   profiling is on: the overhead (two clock reads per level entry, the
+   innermost per point) is the documented price of a profiled run. *)
+let run_nest_timed c st pf acc tot cnt =
+  let nest = c.nest in
+  let n = Array.length nest in
+  let astride = c.astride and rank = c.rank in
+  let point = st.point in
+  let body =
+    match c.pw with
+    | Some (_, op) ->
+      fun () ->
+        let ai = ref 0 in
+        for d = 0 to rank - 1 do
+          ai := !ai + (astride.(d) * point.(d))
+        done;
+        acc.(!ai) <- op acc.(!ai) (pf ())
+    | None ->
+      fun () ->
+        let ai = ref 0 in
+        for d = 0 to rank - 1 do
+          ai := !ai + (astride.(d) * point.(d))
+        done;
+        acc.(!ai) <- pf ()
+  in
+  let rec go l =
+    let t0 = Clock.now_ns () in
+    (if l = n then body ()
+     else
+       match nest.(l) with
+       | S_loop { dim; extent } ->
+         for x = 0 to extent - 1 do
+           point.(dim) <- x;
+           go (l + 1)
+         done
+       | S_tile_outer { tile; extent; slot } ->
+         let b = ref 0 in
+         while !b < extent do
+           st.base.(slot) <- !b;
+           go (l + 1);
+           b := !b + tile
+         done
+       | S_tile_inner { dim; tile; extent; slot } ->
+         let b = st.base.(slot) in
+         let hi = min (b + tile) extent in
+         for x = b to hi - 1 do
+           point.(dim) <- x;
+           go (l + 1)
+         done);
+    tot.(l) <- tot.(l) +. Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0);
+    cnt.(l) <- cnt.(l) + 1
+  in
+  go 0
+
+let level_path l = "L" ^ string_of_int l
+
+(* The plan level a job's own loop driving (distribute/tree decode, state
+   setup) is attributed to: the innermost parallel level when one exists,
+   else the outermost nest step. *)
+let driver_level c =
+  if c.tree_level >= 0 then c.tree_level
+  else if c.dist_level >= 0 then c.dist_level
+  else if Array.length c.nest_levels > 0 then c.nest_levels.(0)
+  else -1
+
+(* Flush one job's accumulated per-level times: self times for the nest
+   steps, the point computation under "leaf", the job's loop-control
+   residue under the driving parallel level, and the job wall under the
+   enclosing "exec" cell — so the per-level times of a run sum to its
+   exec cell by construction, which the tests pin. *)
+let flush_profile c ~wall tot cnt =
+  let digest = c.digest in
+  let n = Array.length c.nest in
+  for l = 0 to n - 1 do
+    Profile.add_n ~digest ~path:(level_path c.nest_levels.(l)) ~count:cnt.(l)
+      (tot.(l) -. tot.(l + 1))
+  done;
+  Profile.add_n ~digest ~path:"leaf" ~count:cnt.(n) tot.(n);
+  let residue = wall -. tot.(0) in
+  let dl = driver_level c in
+  if dl >= 0 then Profile.add ~digest ~path:(level_path dl) residue
+  else Profile.add ~digest ~path:"leaf" residue;
+  Profile.add ~digest ~path:"exec" wall
+
+(* Attribute a coordinator-side segment (partial combine, post-scan,
+   write-back) to a level path and to the enclosing exec cell. *)
+let profile_segment c path f =
+  let t0 = Clock.now_ns () in
+  let r = f () in
+  let dt = Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0) in
+  Profile.add ~digest:c.digest ~path dt;
+  Profile.add ~digest:c.digest ~path:"exec" dt;
+  r
+
 let decode_dist dist point lin =
   let rest = ref lin in
   for d = Array.length dist - 1 downto 0 do
@@ -524,6 +667,10 @@ let split_range ~extent ~pieces =
   |> List.filter (fun (_, sz) -> sz > 0)
 
 let exec_output c pool bufs op =
+  (* sampled once per output: the unprofiled paths below are byte-for-byte
+     the previous hot loops, so a disabled profiler costs one atomic load *)
+  let profiling = Profile.enabled () in
+  let nest_n = Array.length c.nest in
   let acc = Array.make c.acc_size (match c.pw with Some (id, _) -> id | None -> 0.0) in
   let pf = op.build_point in
   let dist_points =
@@ -547,22 +694,43 @@ let exec_output c pool bufs op =
              in
              let st = mk_state c bufs in
              let pt = pf st in
-             for i = 0 to dist_points - 1 do
-               decode_dist c.dist st.point i;
-               for x = lo to lo + sz - 1 do
-                 st.point.(td) <- x;
-                 run_nest c st pt part
-               done
-             done;
+             if profiling then begin
+               let t0 = Clock.now_ns () in
+               let tot = Array.make (nest_n + 1) 0.0 in
+               let cnt = Array.make (nest_n + 1) 0 in
+               for i = 0 to dist_points - 1 do
+                 decode_dist c.dist st.point i;
+                 for x = lo to lo + sz - 1 do
+                   st.point.(td) <- x;
+                   run_nest_timed c st pt part tot cnt
+                 done
+               done;
+               flush_profile c
+                 ~wall:(Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0))
+                 tot cnt
+             end
+             else
+               for i = 0 to dist_points - 1 do
+                 decode_dist c.dist st.point i;
+                 for x = lo to lo + sz - 1 do
+                   st.point.(td) <- x;
+                   run_nest c st pt part
+                 done
+               done;
              part)
            ranges)
     in
-    Array.iter
-      (fun part ->
-        for i = 0 to c.acc_size - 1 do
-          acc.(i) <- combine acc.(i) part.(i)
-        done)
-      partials
+    let combine_partials () =
+      Array.iter
+        (fun part ->
+          for i = 0 to c.acc_size - 1 do
+            acc.(i) <- combine acc.(i) part.(i)
+          done)
+        partials
+    in
+    if profiling then
+      profile_segment c (level_path c.tree_level) combine_partials
+    else combine_partials ()
   | true, None ->
     (* distributed cc dims: disjoint accumulator slabs, shared array *)
     let ranges =
@@ -573,10 +741,23 @@ let exec_output c pool bufs op =
         (fun (lo, sz) () ->
           let st = mk_state c bufs in
           let pt = pf st in
-          for i = lo to lo + sz - 1 do
-            decode_dist c.dist st.point i;
-            run_nest c st pt acc
-          done)
+          if profiling then begin
+            let t0 = Clock.now_ns () in
+            let tot = Array.make (nest_n + 1) 0.0 in
+            let cnt = Array.make (nest_n + 1) 0 in
+            for i = lo to lo + sz - 1 do
+              decode_dist c.dist st.point i;
+              run_nest_timed c st pt acc tot cnt
+            done;
+            flush_profile c
+              ~wall:(Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0))
+              tot cnt
+          end
+          else
+            for i = lo to lo + sz - 1 do
+              decode_dist c.dist st.point i;
+              run_nest c st pt acc
+            done)
         ranges
     in
     ignore (Pool.run_in_parallel pool jobs)
@@ -592,20 +773,43 @@ let exec_output c pool bufs op =
         done
       | None -> k ()
     in
-    for i = 0 to dist_points - 1 do
-      decode_dist c.dist st.point i;
-      tree_loop (fun () -> run_nest c st pt acc)
-    done);
+    if profiling then begin
+      let t0 = Clock.now_ns () in
+      let tot = Array.make (nest_n + 1) 0.0 in
+      let cnt = Array.make (nest_n + 1) 0 in
+      for i = 0 to dist_points - 1 do
+        decode_dist c.dist st.point i;
+        tree_loop (fun () -> run_nest_timed c st pt acc tot cnt)
+      done;
+      flush_profile c
+        ~wall:(Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0))
+        tot cnt
+    end
+    else
+      for i = 0 to dist_points - 1 do
+        decode_dist c.dist st.point i;
+        tree_loop (fun () -> run_nest c st pt acc)
+      done);
   (* post-scan ps dimensions, innermost first, over the accumulator *)
   let sstride = row_major_strides c.acc_shape in
-  Array.iter
-    (fun (d, op) ->
+  Array.iteri
+    (fun k (d, op) ->
       let stride = sstride.(d) and extent = c.acc_shape.(d) in
-      if extent > 1 then
-        for lin = 0 to c.acc_size - 1 do
-          if lin / stride mod extent > 0 then
-            acc.(lin) <- op acc.(lin - stride) acc.(lin)
-        done)
+      if extent > 1 then begin
+        let pass () =
+          for lin = 0 to c.acc_size - 1 do
+            if lin / stride mod extent > 0 then
+              acc.(lin) <- op acc.(lin - stride) acc.(lin)
+          done
+        in
+        if profiling then
+          let path =
+            if c.scan_levels.(k) >= 0 then level_path c.scan_levels.(k)
+            else "scan"
+          in
+          profile_segment c path pass
+        else pass ()
+      end)
     c.scans;
   acc
 
@@ -631,7 +835,17 @@ let cache_key plan md =
 
 let compiled plan md =
   Memo.find_or_add ~record cache (cache_key plan md) (fun () ->
-      match compile plan md with
+      let t0 = Clock.now_ns () in
+      let result =
+        Trace.with_span ~cat:"runtime" "specializer.compile"
+          ~args:[ ("hom", md.Md_hom.hom_name); ("digest", Plan.digest plan) ]
+          (fun () -> compile plan md)
+      in
+      let dt = Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0) in
+      Metrics.observe h_compile dt;
+      Profile.add ~digest:(Plan.digest plan) ~path:"phase:specializer.compile"
+        dt;
+      match result with
       | Ok c ->
         Metrics.incr m_compiles;
         Ok c
@@ -686,8 +900,17 @@ let try_run pool (plan : Plan.t) (md : Md_hom.t) env =
         Trace.with_span ~cat:"runtime" "exec.specialized"
           ~args:[ ("hom", md.Md_hom.hom_name); ("digest", Plan.digest plan) ]
           (fun () ->
+            let t0 = Clock.now_ns () in
             let env = Semantics.alloc_outputs md env in
             List.iter
-              (fun op -> write_back c env op (exec_output c pool bufs op))
+              (fun op ->
+                let acc = exec_output c pool bufs op in
+                if Profile.enabled () then
+                  profile_segment c "writeback" (fun () ->
+                      write_back c env op acc)
+                else write_back c env op acc)
               c.outs;
+            let dt = Clock.ns_to_s (Int64.sub (Clock.now_ns ()) t0) in
+            Metrics.observe h_run dt;
+            Profile.add ~digest:c.digest ~path:"phase:specializer.run" dt;
             Some env))

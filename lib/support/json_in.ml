@@ -1,0 +1,166 @@
+(* Minimal recursive-descent JSON reader: just enough to load the bench
+   artifacts (BENCH_plan_exec.json, BENCH_model_acc.json) and the gate
+   baseline file without an external dependency. Strict where it matters
+   (structure, numbers), lenient where it does not (\u escapes are kept
+   verbatim — the artifacts never emit them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end of input" in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () <> c then fail "expected %c at offset %d" c !pos;
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "truncated \\u escape";
+          Buffer.add_string buf ("\\u" ^ String.sub s (!pos + 1) 4);
+          pos := !pos + 4
+        | c -> fail "bad escape \\%c" c);
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numchar s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "empty number at offset %d" start;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number at offset %d" start
+  in
+  let parse_lit lit v =
+    let ln = String.length lit in
+    if !pos + ln <= n && String.sub s !pos ln = lit then begin
+      pos := !pos + ln;
+      v
+    end
+    else fail "bad literal at offset %d" !pos
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | c -> fail "expected , or } (got %c) at offset %d" c !pos
+        in
+        Obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | c -> fail "expected , or ] (got %c) at offset %d" c !pos
+        in
+        Arr (elements [])
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> parse_lit "true" (Bool true)
+    | 'f' -> parse_lit "false" (Bool false)
+    | 'n' -> parse_lit "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage at offset %d" !pos;
+  v
+
+let of_file path = parse (In_channel.with_open_text path In_channel.input_all)
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function
+  | Num f -> Some f
+  | Bool _ | Null | Str _ | Arr _ | Obj _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function Arr xs -> Some xs | _ -> None
+
+let get_float j key = Option.bind (member key j) to_float
+let get_string j key = Option.bind (member key j) to_string
+let get_bool j key = Option.bind (member key j) to_bool
+let get_list j key = Option.bind (member key j) to_list

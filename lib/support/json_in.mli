@@ -1,0 +1,36 @@
+(** Minimal JSON reader for the repo's own artifacts (bench JSON, gate
+    baselines). Not a general-purpose parser: [\u] escapes are preserved
+    verbatim rather than decoded, and numbers are always floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input (including trailing
+    garbage). *)
+
+val of_file : string -> t
+(** [parse] over a whole file; file errors propagate as [Sys_error]. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing key or non-object. *)
+
+val to_float : t -> float option
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val get_float : t -> string -> float option
+(** [get_float j key] = [member key j] narrowed to a number; the other
+    [get_*] accessors follow the same shape. *)
+
+val get_string : t -> string -> string option
+val get_bool : t -> string -> bool option
+val get_list : t -> string -> t list option

@@ -17,6 +17,22 @@ val ci99_halfwidth : float array -> float
 (** Half-width of the 99% confidence interval of the mean, using the normal
     approximation (z = 2.576); 0 for fewer than two samples. *)
 
+val ranks : float array -> float array
+(** Fractional (mid-) ranks, 1-based; ties share the average of the
+    positions they occupy. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; [nan] for fewer than two samples or
+    when either variable is constant. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (Pearson over tie-aware ranks): 1 when the
+    two variables rank identically, -1 when inversely; [nan] when a
+    variable is constant. *)
+
+val kendall : float array -> float array -> float
+(** Kendall tau-b rank correlation (tie-corrected). *)
+
 type measurement = {
   mean : float;
   stddev : float;

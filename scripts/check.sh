@@ -9,7 +9,8 @@
 #   - build artifacts under _build/ (or *.install files) are ever tracked
 #     by git again (they were purged in the tuning-engine PR and are
 #     covered by .gitignore),
-#   - observability run artifacts (BENCH_obs.json, *.trace.json) are
+#   - observability run artifacts (BENCH_obs.json, BENCH_plan_exec.json,
+#     BENCH_model_acc.json, *.trace.json, *.folded flamegraph stacks) are
 #     tracked: they are per-run outputs, not sources,
 #   - tuning run artifacts (checkpoints, quarantined databases, tuning.db)
 #     are tracked,
@@ -38,7 +39,9 @@ if [ -n "$tracked_artifacts" ]; then
     exit 1
 fi
 
-tracked_obs=$(git ls-files -- 'BENCH_obs.json' '**/BENCH_obs.json' '*.trace.json' || true)
+tracked_obs=$(git ls-files -- 'BENCH_obs.json' '**/BENCH_obs.json' '*.trace.json' \
+    'BENCH_plan_exec.json' '**/BENCH_plan_exec.json' \
+    'BENCH_model_acc.json' '**/BENCH_model_acc.json' '*.folded' || true)
 if [ -n "$tracked_obs" ]; then
     echo "error: observability artifacts are tracked by git:" >&2
     echo "$tracked_obs" | head -10 >&2
@@ -118,6 +121,17 @@ if command -v gcc > /dev/null 2>&1; then
 else
     echo "check.sh: SKIP compiled-C differential stage (gcc not on PATH)"
 fi
+
+# profiler stage: `mdhc profile` must render a per-plan-level breakdown on
+# both backends and honour its JSON/flame contracts (bit-identity of
+# unprofiled runs and the 5% sum bound are pinned by the test suite)
+dune exec bin/mdhc.exe -- profile matmul > /dev/null || {
+    echo "error: mdhc profile matmul (specializer) failed" >&2; exit 1; }
+dune exec bin/mdhc.exe -- profile prl --backend interp \
+    --flame "$chaos_dir/prl.folded" > /dev/null 2> /dev/null || {
+    echo "error: mdhc profile prl (walker) failed" >&2; exit 1; }
+test -s "$chaos_dir/prl.folded" || {
+    echo "error: mdhc profile wrote no flamegraph stacks" >&2; exit 1; }
 
 # chaos stage: tuning under deterministic fault injection on each site
 # must degrade gracefully — exit 0 and the fault-free schedule

@@ -34,23 +34,34 @@ if "$MDHC" tune >/dev/null 2>&1; then
   fail "missing positional workload exited 0"
 fi
 
-# tune with observability on: exit 0, metrics summary on stdout, trace
-# file is Chrome trace_event JSON
+# tune with observability on: exit 0, metrics summary on stderr (stdout
+# must stay machine-readable), trace file is Chrome trace_event JSON
 "$MDHC" tune matmul --no-cache --budget 40 \
   --trace "$tmp/trace.json" --metrics >"$tmp/traced.txt" 2>"$tmp/traced.err" ||
   fail "tune --trace --metrics exited non-zero"
 grep -q '"traceEvents"' "$tmp/trace.json" || fail "trace file has no traceEvents"
 grep -q '"ph"' "$tmp/trace.json" || fail "trace file has no events"
-grep -q '\[metrics\]' "$tmp/traced.txt" || fail "no [metrics] summary on stdout"
+grep -q '\[metrics\]' "$tmp/traced.err" || fail "no [metrics] summary on stderr"
+if grep -q '\[metrics\]' "$tmp/traced.txt"; then
+  fail "[metrics] summary leaked onto stdout"
+fi
 grep -q 'trace written to' "$tmp/traced.err" || fail "no trace notice on stderr"
 
+# --metrics-out routes the report to a file; stderr stays quiet about it
+"$MDHC" run dot --metrics --metrics-out "$tmp/metrics.txt" \
+  >"$tmp/run_mout.txt" 2>"$tmp/run_mout.err" ||
+  fail "run --metrics-out exited non-zero"
+grep -q '\[metrics\]' "$tmp/metrics.txt" || fail "--metrics-out wrote no summary"
+if grep -q '\[metrics\]' "$tmp/run_mout.txt" "$tmp/run_mout.err"; then
+  fail "--metrics-out still printed the summary to a stream"
+fi
+
 # bit-identity: the tuned schedule (and every other deterministic line)
-# is unchanged by tracing; only wall-clock timings may differ
+# is unchanged by tracing and metrics; only wall-clock timings may differ
 "$MDHC" tune matmul --no-cache --budget 40 >"$tmp/plain.txt" 2>/dev/null ||
   fail "plain tune exited non-zero"
 grep -v 'wall)' "$tmp/plain.txt" >"$tmp/plain.cmp"
-# strip the observability summaries the traced run appends, then compare
-sed -n '/^\[metrics\]$/q;p' "$tmp/traced.txt" | grep -v 'wall)' >"$tmp/traced.cmp"
+grep -v 'wall)' "$tmp/traced.txt" >"$tmp/traced.cmp"
 diff -u "$tmp/plain.cmp" "$tmp/traced.cmp" >&2 ||
   fail "tracing changed deterministic output"
 grep -q '^best schedule:' "$tmp/plain.cmp" || fail "no schedule line to compare"
@@ -94,7 +105,7 @@ fi
 # --- mdhc check: the static diagnostics engine ---
 
 # this PR's version
-grep -q '^1\.5\.0' "$tmp/version.txt" || fail "--version is not 1.5.0"
+grep -q '^1\.6\.0' "$tmp/version.txt" || fail "--version is not 1.6.0"
 
 # --- mdhc plan: the executable IR, printed and fingerprinted ---
 
@@ -207,5 +218,47 @@ fi
 "$MDHC" check --json --file fixtures/broken.mdh >"$tmp/check.sarif" 2>&1 || true
 grep -q '"ruleId"' "$tmp/check.sarif" || fail "check --json emitted no ruleId"
 grep -q '"version":"2.1.0"' "$tmp/check.sarif" || fail "check --json is not SARIF 2.1.0"
+
+# --- mdhc profile: the plan-level profiler ---
+
+# the tree view names plan-level paths, the enclosing exec row, and the
+# backend phases
+"$MDHC" profile matmul >"$tmp/profile.txt" 2>&1 || fail "profile matmul exited non-zero"
+grep -Eq '^  L0 ' "$tmp/profile.txt" || fail "profile printed no L0 row"
+grep -Eq '^  leaf ' "$tmp/profile.txt" || fail "profile printed no leaf row"
+grep -Eq '^  exec ' "$tmp/profile.txt" || fail "profile printed no exec row"
+grep -q 'specializer.run' "$tmp/profile.txt" || fail "profile printed no phases"
+grep -Eq 'digest [0-9a-f]{8}' "$tmp/profile.txt" || fail "profile printed no digest"
+
+# --json replaces the tree with the mdh-profile/1 document, and --metrics
+# must not pollute it
+"$MDHC" profile matmul --json --metrics >"$tmp/profile.json" 2>/dev/null ||
+  fail "profile --json exited non-zero"
+head -c 1 "$tmp/profile.json" | grep -q '{' || fail "profile --json stdout is not JSON"
+grep -q '"schema": "mdh-profile/1"' "$tmp/profile.json" ||
+  fail "profile --json has no schema"
+grep -q '"model_fraction"' "$tmp/profile.json" ||
+  fail "profile --json has no model attribution"
+if grep -q '\[metrics\]' "$tmp/profile.json"; then
+  fail "--metrics leaked into profile --json stdout"
+fi
+
+# --flame writes collapsed stacks: workload;digest;level-chain self_us
+"$MDHC" profile matmul --flame "$tmp/matmul.folded" >/dev/null 2>&1 ||
+  fail "profile --flame exited non-zero"
+grep -Eq '^matmul;[0-9a-f]{8};L0 .* [0-9]+$' "$tmp/matmul.folded" ||
+  fail "flame file has no collapsed stacks"
+
+# the walker backend profiles workloads the specializer rejects...
+"$MDHC" profile prl --backend interp >"$tmp/profile_prl.txt" 2>&1 ||
+  fail "profile prl --backend interp exited non-zero"
+grep -Eq '^  exec ' "$tmp/profile_prl.txt" || fail "walker profile has no exec row"
+# ...and forcing the specializer on them is a clean error, not a crash
+if "$MDHC" profile prl --backend special >/dev/null 2>&1; then
+  fail "profile prl --backend special exited 0"
+fi
+if "$MDHC" profile no-such-workload >/dev/null 2>&1; then
+  fail "profile of unknown workload exited 0"
+fi
 
 echo "cli_test: all checks passed"

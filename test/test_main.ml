@@ -21,4 +21,5 @@ let () =
       Test_model_props.suite;
       Test_reports.suite;
       Test_obs.suite;
+      Test_profile.suite;
       Test_analysis.suite ]

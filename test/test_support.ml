@@ -170,6 +170,78 @@ let prop_ceil_div =
       let q = Mdh_support.Util.ceil_div a b in
       (q * b >= a) && ((q - 1) * b < a || q = 0))
 
+(* --- rank correlation --- *)
+
+let feq = Mdh_support.Util.float_equal ~rel:1e-9 ~abs:1e-9
+
+let test_ranks_mid () =
+  (* ties get the mid-rank: [10;20;20;30] -> [1; 2.5; 2.5; 4] *)
+  let r = Stats.ranks [| 10.0; 20.0; 20.0; 30.0 |] in
+  check Alcotest.bool "mid-ranks" true
+    (feq r.(0) 1.0 && feq r.(1) 2.5 && feq r.(2) 2.5 && feq r.(3) 4.0)
+
+let test_spearman_perfect () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let ys = [| 10.0; 20.0; 40.0; 80.0; 160.0 |] in
+  check Alcotest.bool "monotone -> +1" true (feq (Stats.spearman xs ys) 1.0);
+  check Alcotest.bool "kendall +1" true (feq (Stats.kendall xs ys) 1.0)
+
+(* the deliberately mis-ranked toy model: predicted cost ordering exactly
+   inverts the measured one, so both coefficients must pin -1 — the
+   accuracy tracker's worst case, not a degenerate input *)
+let test_misranked_toy_model () =
+  let predicted = [| 0.001; 0.002; 0.004; 0.008; 0.016 |] in
+  let measured = [| 0.9; 0.5; 0.1; 0.05; 0.01 |] in
+  check Alcotest.bool "spearman -1" true
+    (feq (Stats.spearman predicted measured) (-1.0));
+  check Alcotest.bool "kendall -1" true
+    (feq (Stats.kendall predicted measured) (-1.0))
+
+let test_correlation_degenerate () =
+  (* a constant variable has no ranking to correlate against *)
+  check Alcotest.bool "constant -> nan" true
+    (Float.is_nan (Stats.spearman [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |]));
+  check Alcotest.bool "short -> nan" true
+    (Float.is_nan (Stats.kendall [| 1.0 |] [| 2.0 |]))
+
+let test_kendall_ties () =
+  (* tau-b with one tied pair on x: 5 pairs, 1 tie on x, all concordant
+     otherwise: (5-0)/sqrt((6-1)*6) ~ 0.913 *)
+  let t = Stats.kendall [| 1.0; 2.0; 2.0; 3.0 |] [| 1.0; 2.0; 3.0; 4.0 |] in
+  check Alcotest.bool "tau-b in (0.9, 0.93)" true (t > 0.9 && t < 0.93)
+
+(* --- json reader --- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json_in.parse
+      {|{"a": 1.5, "b": [true, null, "x\n"], "nested": {"k": -2e3}}|}
+  in
+  check Alcotest.(option (float 1e-9)) "number" (Some 1.5) (Json_in.get_float j "a");
+  (match Json_in.get_list j "b" with
+  | Some [ Json_in.Bool true; Json_in.Null; Json_in.Str "x\n" ] -> ()
+  | _ -> Alcotest.fail "array content");
+  match Json_in.member "nested" j with
+  | Some n ->
+    check Alcotest.(option (float 1e-9)) "nested number" (Some (-2000.0))
+      (Json_in.get_float n "k")
+  | None -> Alcotest.fail "nested object"
+
+let test_json_rejects_garbage () =
+  let bad s =
+    match Json_in.parse s with
+    | exception Json_in.Parse_error _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "trailing garbage" true (bad "{} x");
+  check Alcotest.bool "unterminated string" true (bad {|{"a": "b|});
+  check Alcotest.bool "bare word" true (bad "flase")
+
+let test_json_accessor_mismatch () =
+  let j = Json_in.parse {|{"s": "str"}|} in
+  check Alcotest.bool "wrong type is None" true (Json_in.get_float j "s" = None);
+  check Alcotest.bool "missing key is None" true (Json_in.get_float j "zz" = None)
+
 (* --- memo --- *)
 
 let test_memo_caches () =
@@ -234,6 +306,14 @@ let suite =
       tc "stats measure constant" `Quick test_measure_until_ci_constant;
       tc "stats measure converges" `Quick test_measure_until_ci_converges;
       tc "stats measure respects cap" `Quick test_measure_until_ci_respects_max;
+      tc "stats ranks mid-rank ties" `Quick test_ranks_mid;
+      tc "stats spearman perfect" `Quick test_spearman_perfect;
+      tc "stats mis-ranked toy model" `Quick test_misranked_toy_model;
+      tc "stats correlation degenerate" `Quick test_correlation_degenerate;
+      tc "stats kendall tau-b ties" `Quick test_kendall_ties;
+      tc "json_in roundtrip" `Quick test_json_roundtrip;
+      tc "json_in rejects garbage" `Quick test_json_rejects_garbage;
+      tc "json_in accessor mismatch" `Quick test_json_accessor_mismatch;
       tc "table cell accessors" `Quick test_table_cell_accessors;
       tc "util product" `Quick test_product;
       tc "util divisors" `Quick test_divisors;
