@@ -32,6 +32,7 @@ module Exec = Mdh_runtime.Exec
 module Specializer = Mdh_runtime.Specializer
 module Cc = Mdh_codegen.Cc
 module J = Mdh_obs.Json
+module Rewrite = Mdh_rewrite.Rewrite
 
 let cpu = Mdh_machine.Device.xeon6140_like
 
@@ -73,7 +74,8 @@ let cases =
      [ ("N", 1); ("P", 4); ("Q", 4); ("K", 4); ("R", 3); ("S", 3); ("C", 4);
        ("M", 2) ]);
     ("mbbs", [ ("I", 256); ("J", 64) ]);
-    ("jacobi1d", [ ("N", 100_000) ]) ]
+    ("jacobi1d", [ ("N", 100_000) ]);
+    ("kmeans", [ ("N", 512); ("K", 64) ]) ]
 
 let bench_one pool (w : W.t) params =
   let md = W.to_md_hom w params in
@@ -137,13 +139,37 @@ let bench_one pool (w : W.t) params =
         Cc.cleanup t;
         (Some build_s, Some s)
   in
+  (* rewritten: the equality-saturated computation + plan through the
+     same walker as interp, so the column isolates what `mdhc optimize`
+     buys (fewer point flops) from backend dispatch effects *)
+  let rewritten_s, rewrite_rules =
+    match
+      Rewrite.optimize ~oracle:(Mdh_analysis.Opcheck_oracle.oracle ()) md cpu
+        Mdh_lowering.Cost.tuned_codegen sched
+    with
+    | Error e -> failwith (name ^ ": rewrite: " ^ e)
+    | Ok r ->
+      let run_rewritten () =
+        match
+          Exec.run_with_plan ~fastpath:false ~specialize:false pool
+            r.Rewrite.r_plan r.Rewrite.r_md env
+        with
+        | Ok e -> e
+        | Error e -> failwith (name ^ ": rewritten: " ^ e)
+      in
+      check_result ~rel:1e-4 ~abs:1e-5 name md (run_rewritten ()) expected;
+      (best_of 3 run_rewritten, List.length r.Rewrite.r_applied)
+  in
   let speedup = Option.map (fun s -> interp_s /. s) in
   let fmt_opt = function
     | Some s -> Printf.sprintf "%.4fs (%.1fx)" s (interp_s /. s)
     | None -> "-"
   in
-  Printf.printf "%-11s %-22s  interp %.4fs  special %-18s  cc %s\n%!" name size
-    interp_s
+  Printf.printf
+    "%-11s %-22s  interp %.4fs  rewritten %.4fs (%.1fx, %d rules)  special \
+     %-18s  cc %s\n\
+     %!"
+    name size interp_s rewritten_s (interp_s /. rewritten_s) rewrite_rules
     (fmt_opt special_s)
     (fmt_opt cc_s);
   let num_opt = function Some s -> J.number s | None -> "null" in
@@ -151,6 +177,9 @@ let bench_one pool (w : W.t) params =
     [ ("name", J.quote name);
       ("size", J.quote size);
       ("interp_s", J.number interp_s);
+      ("rewritten_s", J.number rewritten_s);
+      ("rewrite_rules", string_of_int rewrite_rules);
+      ("rewrite_speedup", J.number (interp_s /. rewritten_s));
       ("special_s", num_opt special_s);
       ("cc_s", num_opt cc_s);
       ("cc_build_s", num_opt cc_build_s);

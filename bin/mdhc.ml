@@ -19,6 +19,8 @@
      mdhc check                          (analyze the whole catalogue)
      mdhc check matvec --strict
      mdhc check --file examples/mcc.mdh -P N=1 ... --json
+     mdhc optimize prl                   (verified equality-saturation pass)
+     mdhc optimize prl --json --device gpu
      mdhc plan matvec --device cpu      (print the executable plan IR)
      mdhc plan --digest                 (stable structural fingerprints)
      mdhc profile matmul                (per-plan-level time breakdown)
@@ -26,7 +28,7 @@
 
 open Cmdliner
 
-let version = "1.6.0"
+let version = "1.7.0"
 
 module W = Mdh_workloads.Workload
 module Device = Mdh_machine.Device
@@ -300,11 +302,21 @@ let show_cmd =
   in
   Cmd.v (Cmd.info "show" ~doc) Term.(const run $ workload_arg $ input_arg $ plan_arg)
 
+let no_rewrite_arg =
+  let doc =
+    "Skip the verified equality-saturation pass: tune/optimize the \
+     computation exactly as written, with no expression or plan rewrites."
+  in
+  Arg.(value & flag & info [ "no-rewrite" ] ~doc)
+
 let tune_cmd =
-  let doc = "Auto-tune a workload's schedule with ATF and report the result." in
+  let doc = "Auto-tune a workload's schedule with ATF and report the result. \
+             By default the verified rewrite pass saturates the computation \
+             first and the search runs over the pruned space; disable with \
+             --no-rewrite." in
   let run name device input budget seed chains strategy deadline checkpoint
-      checkpoint_every resume parallel no_cache tuning_db inject trace metrics
-      metrics_out =
+      checkpoint_every resume parallel no_cache no_rewrite tuning_db inject
+      trace metrics metrics_out =
     setup_faults ~inject;
     setup_cache ~no_cache ~tuning_db;
     setup_obs ~trace;
@@ -314,8 +326,8 @@ let tune_cmd =
     let md = W.to_md_hom w params in
     let tune pool =
       Mdh_atf.Tuner.tune_resumable ~strategy ~budget ~seed ~chains ?pool
-        ?deadline_s:deadline ?checkpoint ~checkpoint_every ~resume md dev
-        Cost.tuned_codegen
+        ?deadline_s:deadline ?checkpoint ~checkpoint_every ~resume
+        ~saturate:(not no_rewrite) md dev Cost.tuned_codegen
     in
     let result, elapsed =
       Mdh_support.Util.time_it (fun () ->
@@ -356,7 +368,7 @@ let tune_cmd =
       const run $ workload_arg $ device_arg $ input_arg $ budget_arg $ seed_arg
       $ chains_arg $ strategy_arg $ deadline_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ parallel_arg $ no_cache_arg
-      $ tuning_db_arg $ inject_arg $ trace_arg $ metrics_arg
+      $ no_rewrite_arg $ tuning_db_arg $ inject_arg $ trace_arg $ metrics_arg
       $ metrics_out_arg)
 
 let compare_cmd =
@@ -637,6 +649,58 @@ let check_cmd =
     Term.(
       const run $ workload_opt_arg $ file_arg $ params_arg $ json_arg
       $ strict_arg $ metrics_arg $ metrics_out_arg)
+
+let optimize_cmd =
+  let doc =
+    "Run the verified equality-saturation pass over a workload: saturate \
+     the combine bodies (CSE, constant folding, algebraic identities, \
+     strength reduction — all bit-preserving) and the lowered plan \
+     (unit-level elimination, Seq fusion, tile simplification, and \
+     tree-reduce reassociation where the property verifier proved the \
+     operator associative), then report every applied rule with its \
+     justification and the cost-model delta. Rules are never justified by \
+     declared-but-unverified operator annotations."
+  in
+  let json_arg =
+    let doc = "Emit the report as JSON (schema mdh-optimize/1) on stdout." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run name device input no_rewrite json metrics metrics_out =
+    let w = or_die (find_workload name) in
+    let dev = or_die (device_of_string device) in
+    let params = or_die (params_of w input) in
+    let md = W.to_md_hom w params in
+    let wl = String.lowercase_ascii w.W.wl_name in
+    let cg = Cost.tuned_codegen in
+    let sched = Mdh_lowering.Lower.mdh_default md dev in
+    Mdh_lowering.Plan_cache.reset_stats ();
+    let report =
+      if no_rewrite then
+        (* escape hatch: the raw plan, untouched — same report shape so
+           --json consumers need no special case *)
+        let plan = or_die (Mdh_lowering.Plan_cache.build md dev sched) in
+        let seconds = or_die (Cost.seconds md dev cg sched) in
+        { Mdh_rewrite.Rewrite.r_md = md; r_raw_plan = plan; r_plan = plan;
+          r_raw_seconds = seconds; r_seconds = seconds; r_applied = [] }
+      else
+        let oracle = Mdh_analysis.Opcheck_oracle.oracle () in
+        or_die (Mdh_rewrite.Rewrite.optimize ~oracle md dev cg sched)
+    in
+    if json then
+      print_endline
+        (Mdh_rewrite.Rewrite.report_json ~name:wl
+           ~device:dev.Device.device_name report)
+    else
+      Format.printf "%a@."
+        (Mdh_rewrite.Rewrite.pp_report ~name:wl
+           ~device:dev.Device.device_name)
+        report;
+    emit_metrics ~metrics ~metrics_out [ Mdh_obs.Metrics.summary () ]
+  in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ workload_arg $ device_arg $ input_arg $ no_rewrite_arg
+      $ json_arg $ metrics_arg $ metrics_out_arg)
 
 let plan_cmd =
   let doc =
@@ -1019,4 +1083,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; devices_cmd; show_cmd; plan_cmd; profile_cmd; tune_cmd;
-            compare_cmd; run_cmd; compile_cmd; codegen_cmd; check_cmd ]))
+            compare_cmd; run_cmd; compile_cmd; codegen_cmd; check_cmd;
+            optimize_cmd ]))

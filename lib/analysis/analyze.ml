@@ -634,6 +634,64 @@ let plan_pass b sp (dir : D.t) =
         cpar dev.Device.device_name fpar dims.(td)
     | None -> ())
 
+(* --- pass 8: verified-rewrite hints (MDH120-121) -------------------------
+
+   Read-only preview of what `mdhc optimize` would do: run the expression
+   tier on each output body and the plan tier on the default plan of each
+   modelled device, and report where a justified rewrite fires. The pass
+   never changes the directive — it tells the author the optimizer has
+   something to offer. *)
+
+let rewrite_rules applied =
+  (* distinct rule ids in application order *)
+  List.fold_left
+    (fun acc (a : Mdh_rewrite.Rewrite.applied) ->
+      if List.mem a.Mdh_rewrite.Rewrite.ap_rule acc then acc
+      else acc @ [ a.Mdh_rewrite.Rewrite.ap_rule ])
+    [] applied
+
+let rewrite_pass b sp ~verify_ops (dir : D.t) =
+  match Mdh_directive.Transform.to_md_hom dir with
+  | Error _ -> ()
+  | Ok md ->
+    let module Rw = Mdh_rewrite.Rewrite in
+    let module Md_hom = Mdh_core.Md_hom in
+    List.iter
+      (fun (o : Md_hom.output) ->
+        let value', applied = Rw.saturate_expr ~site:o.Md_hom.out_name o.Md_hom.value in
+        if applied <> [] then
+          Diag.emit b
+            ?span:(sp.buffer_span o.Md_hom.out_name)
+            ~subject:o.Md_hom.out_name Diag.Hint "MDH120"
+            "the body of %S admits %d verified rewrite%s (%s) reducing its \
+             modelled flops from %d to %d: `mdhc optimize` applies them"
+            o.Md_hom.out_name (List.length applied)
+            (if List.length applied = 1 then "" else "s")
+            (String.concat ", " (rewrite_rules applied))
+            (Ea.flops o.Md_hom.value) (Ea.flops value'))
+      md.Md_hom.outputs;
+    let oracle =
+      if verify_ops then Opcheck_oracle.oracle () else Rw.pure_oracle
+    in
+    let hint_for dev =
+      let sched = Mdh_lowering.Lower.mdh_default md dev in
+      match Mdh_lowering.Plan_cache.build md dev sched with
+      | Error _ -> None
+      | Ok plan -> (
+        match Rw.saturate_plan ~oracle md dev Mdh_lowering.Cost.tuned_codegen plan with
+        | _, [] -> None
+        | _, applied -> Some (dev, applied))
+    in
+    (match List.find_map hint_for [ Device.xeon6140_like; Device.a100_like ] with
+    | Some (dev, applied) ->
+      Diag.emit b ?span:sp.pragma_span Diag.Hint "MDH121"
+        "the default plan for %s admits %d structural rewrite%s (%s): `mdhc \
+         optimize` applies them and reports the cost-model delta"
+        dev.Device.device_name (List.length applied)
+        (if List.length applied = 1 then "" else "s")
+        (String.concat ", " (rewrite_rules applied))
+    | None -> ())
+
 (* --- driver ------------------------------------------------------------- *)
 
 let of_validate_error sp (e : Validate.error) =
@@ -668,6 +726,7 @@ let directive ?spans ?(verify_ops = true) (dir : D.t) =
     if verify_ops then opcheck_pass b sp elab;
     lint_pass b sp elab;
     plan_pass b sp dir;
+    rewrite_pass b sp ~verify_ops dir;
     Diag.contents b
   | Error e -> (
     (* the analyzer's passes mirror Validate's checks, so its first error

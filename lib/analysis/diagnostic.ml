@@ -49,7 +49,9 @@ let code_table =
     ("MDH110", Hint, "loop dimension has extent 1");
     ("MDH111", Hint, "innermost loop is not the stride-1 dimension");
     ("MDH112", Hint, "verified operator property is not declared");
-    ("MDH113", Hint, "device parallelism relies on reduction parallelisation") ]
+    ("MDH113", Hint, "device parallelism relies on reduction parallelisation");
+    ("MDH120", Hint, "a verified rewrite would simplify the combine body");
+    ("MDH121", Hint, "a verified rewrite would simplify the lowered plan") ]
 
 let describe_code code =
   List.find_map

@@ -21,15 +21,28 @@ let c_operators = Metrics.counter "analysis.opcheck.operators"
 
 (* --- sample domains ---
 
-   Exactness matters: comparisons are Scalar.equal (bit-exact), so every
-   sample is chosen such that the builtin arithmetic stays exact over
-   triple-deep combinations — small integers, and dyadic rationals with
-   magnitude << 2^20 for floats (sums and products of three remain
-   exactly representable even in fp32). *)
+   Exactness matters: comparisons are Scalar.equal (IEEE equality), so
+   every sample is chosen such that the builtin arithmetic stays exact
+   over triple-deep combinations — small integers, and dyadic rationals
+   with magnitude <= 2^20 for floats: a sum of three such values needs at
+   most 24 mantissa bits and a product at most a few, so even fp32 never
+   rounds on the domain. The float domain also carries both signed zeros
+   and the +/-2^20 extremes; the verdicts it produces are therefore
+   statements about this exact domain, not about floating point at large
+   (reassociating float reductions still changes rounding on general
+   data — which is why Mdh_rewrite refuses float reassociation). *)
+
+(* sample identity is bitwise for floats so that -0.0 survives dedup next
+   to 0.0 (Scalar.equal follows IEEE and conflates the two) *)
+let same_sample a b =
+  match (a, b) with
+  | Scalar.F32 x, Scalar.F32 y | Scalar.F64 x, Scalar.F64 y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> Scalar.equal a b
 
 let dedup vs =
   List.fold_left
-    (fun acc v -> if List.exists (Scalar.equal v) acc then acc else acc @ [ v ])
+    (fun acc v -> if List.exists (same_sample v) acc then acc else acc @ [ v ])
     [] vs
 
 let rec samples ?(seed = 42) ty =
@@ -39,7 +52,8 @@ let rec samples ?(seed = 42) ty =
     @ List.init 3 (fun _ -> mk (Rng.int_in rng (-40) 40))
   in
   let floats mk =
-    List.map mk [ -2.0; -1.0; -0.5; 0.0; 0.5; 1.0; 2.5 ]
+    List.map mk
+      [ -2.0; -1.0; -0.5; -0.0; 0.0; 0.5; 1.0; 2.5; -1048576.0; 1048576.0 ]
     @ List.init 3 (fun _ -> mk (float_of_int (Rng.int_in rng (-8) 8) /. 4.0))
   in
   let base =

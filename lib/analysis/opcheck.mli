@@ -38,7 +38,10 @@ type report = {
 val samples : ?seed:int -> Scalar.ty -> Scalar.value list
 (** The verification domain for a type: a bounded-exhaustive base set
     plus a few seeded random values; record samples are built field-wise.
-    All values are exactly representable. *)
+    All values are exactly representable, and float domains include both
+    signed zeros and the [+/-2^20] magnitude extremes (the largest dyadic
+    values whose triple sums still avoid fp32 rounding). Deduplication is
+    bitwise for floats, so [-0.0] and [0.0] are distinct samples. *)
 
 val verify : ?seed:int -> ty:Scalar.ty -> Combine.custom_fn -> report
 (** Check all three properties on [samples ty], regardless of what is

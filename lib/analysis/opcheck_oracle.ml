@@ -1,0 +1,35 @@
+module Scalar = Mdh_tensor.Scalar
+module Combine = Mdh_combine.Combine
+module Rewrite = Mdh_rewrite.Rewrite
+
+(* memoized per (seed, type, operator name): the report describes the
+   implementation (declarations are judged elsewhere), and operators are
+   deduplicated by name exactly like the analyzer's opcheck pass *)
+let memo : (string, Opcheck.report) Hashtbl.t = Hashtbl.create 16
+
+let report ~seed ~ty fn =
+  let key =
+    Printf.sprintf "%d/%s/%s" seed (Scalar.ty_to_string ty) fn.Combine.fn_name
+  in
+  match Hashtbl.find_opt memo key with
+  | Some r -> r
+  | None ->
+    let r = Opcheck.verify ~seed ~ty fn in
+    Hashtbl.add memo key r;
+    r
+
+let verdict_of_outcome ~evaluations = function
+  | Opcheck.Verified _ -> Rewrite.Proved { evaluations }
+  | Opcheck.Counterexample w -> Rewrite.Refuted { witness = w }
+  | Opcheck.Untestable msg -> Rewrite.Unknown msg
+
+let oracle ?(seed = 42) () =
+  { Rewrite.oracle_name = Printf.sprintf "opcheck-%d" seed;
+    prove =
+      (fun ty fn prop ->
+        let r = report ~seed ~ty fn in
+        let evaluations = r.Opcheck.evaluations in
+        match prop with
+        | Rewrite.Associative -> verdict_of_outcome ~evaluations r.Opcheck.associativity
+        | Rewrite.Commutative -> verdict_of_outcome ~evaluations r.Opcheck.commutativity)
+  }

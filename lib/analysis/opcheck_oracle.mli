@@ -1,0 +1,12 @@
+(** The {!Opcheck}-backed justification oracle for {!Mdh_rewrite.Rewrite}.
+
+    Bridges the property verifier to the rewrite engine: a [prove] call
+    runs (memoized) {!Opcheck.verify} on the operator and maps the
+    machine-checked outcome to a rewrite verdict. This is the only path
+    by which algebra-gated rewrite rules obtain evidence — declared
+    metadata never reaches the engine as proof. *)
+
+val oracle : ?seed:int -> unit -> Mdh_rewrite.Rewrite.oracle
+(** Verification reports are memoized per (type, operator-name) — the
+    same dedup key the analyzer's operator pass uses — so repeated
+    rewrites of one workload verify each operator once per process. *)

@@ -28,7 +28,7 @@ type tuning = {
 
 let tile_param_name d = Printf.sprintf "tile_%d" d
 
-let space ?parallel_options (md : Md_hom.t) (dev : Device.t) =
+let space ?parallel_options ?(saturate = false) (md : Md_hom.t) (dev : Device.t) =
   let rank = Md_hom.rank md in
   let bytes_per_point = max 4 (Md_hom.bytes_read_per_point md) in
   (* interdependence: the points covered by a tile must fit a generous
@@ -41,6 +41,18 @@ let space ?parallel_options (md : Md_hom.t) (dev : Device.t) =
   in
   let tile_params =
     List.init rank (fun d ->
+        (* rewrite-aware pruning: on a dimension of extent > 1, tile size 1
+           plans the same sequential sweep as the full extent but cut into
+           unit tiles — exactly the structure the plan rewriter's unit-tile
+           elimination removes — so the saturated space need not search it *)
+        let base =
+          let all = Lower.tile_options md ~dim:d in
+          if saturate && md.Md_hom.sizes.(d) > 1 then
+            match List.filter (fun t -> t <> 1) all with
+            | [] -> all
+            | pruned -> pruned
+          else all
+        in
         Param.dependent (tile_param_name d) (fun config ->
             let used =
               List.fold_left
@@ -49,9 +61,12 @@ let space ?parallel_options (md : Md_hom.t) (dev : Device.t) =
                   else acc)
                 1 config
             in
-            List.filter
-              (fun t -> t = 1 || t * used <= budget_points)
-              (Lower.tile_options md ~dim:d)))
+            match List.filter (fun t -> t = 1 || t * used <= budget_points) base with
+            | [] ->
+              (* tile 1 was pruned and every remaining tile busts the cache
+                 budget: keep the smallest so the dimension stays legal *)
+              [ List.fold_left min max_int base ]
+            | options -> options))
   in
   let par_options =
     Array.of_list
@@ -74,21 +89,24 @@ let strategy_name = function
   | Anneal -> "anneal"
   | Auto -> "auto"
 
-let db_key ~ctx ~strategy ~budget ~seed ~chains ~parallel_options =
+let db_key ~ctx ~strategy ~budget ~seed ~chains ~parallel_options ~saturate =
   Mdh_support.Memo.key
-    [ "tune-v1";
-      Cost_cache.context_key ctx;
-      strategy_name strategy;
-      string_of_int budget;
-      string_of_int seed;
-      string_of_int chains;
-      (match parallel_options with
-      | None -> "default-par"
-      | Some options ->
-        String.concat ";"
-          (List.map
-             (fun dims -> String.concat "," (List.map string_of_int dims))
-             options)) ]
+    ([ "tune-v1";
+       Cost_cache.context_key ctx;
+       strategy_name strategy;
+       string_of_int budget;
+       string_of_int seed;
+       string_of_int chains;
+       (match parallel_options with
+       | None -> "default-par"
+       | Some options ->
+         String.concat ";"
+           (List.map
+              (fun dims -> String.concat "," (List.map string_of_int dims))
+              options)) ]
+    (* appended only when rewriting, so pre-existing database entries for
+       raw searches keep their keys *)
+    @ if saturate then [ "+rewrite" ] else [])
 
 let db_hit_result estimated_s =
   { Search.best = []; best_cost = estimated_s; evaluations = 0; trace = [] }
@@ -290,8 +308,14 @@ type outcome =
 
 let tune_resumable ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1)
     ?pool ?include_transfers ?parallel_options ?db ?deadline_s ?checkpoint
-    ?(checkpoint_every = 64) ?(resume = false) ?should_stop md dev cg =
+    ?(checkpoint_every = 64) ?(resume = false) ?should_stop ?(saturate = false)
+    md dev cg =
   let chains = max 1 chains in
+  (* tier-1 saturation first: the searched computation is the one that will
+     execute, and its (possibly lower) flops_per_point feeds the cost model *)
+  let md =
+    if saturate then fst (Mdh_rewrite.Rewrite.saturate_outputs md) else md
+  in
   Metrics.incr m_runs;
   let t_start = Clock.now_ns () in
   let result =
@@ -304,7 +328,9 @@ let tune_resumable ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1)
     @@ fun () ->
     let ctx = Cost_cache.context ?include_transfers md dev cg in
     let db = match db with Some _ as d -> d | None -> Tuning_db.ambient () in
-    let key = db_key ~ctx ~strategy ~budget ~seed ~chains ~parallel_options in
+    let key =
+      db_key ~ctx ~strategy ~budget ~seed ~chains ~parallel_options ~saturate
+    in
     let recalled =
       Trace.with_span ~cat:"atf" "tuner.db_lookup" (fun () ->
           Option.bind db (fun d -> Tuning_db.find d key))
@@ -319,7 +345,7 @@ let tune_resumable ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1)
     | None -> (
       let sp, decode =
         Trace.with_span ~cat:"atf" "tuner.space_build" (fun () ->
-            space ?parallel_options md dev)
+            space ?parallel_options ~saturate md dev)
       in
       let cost config =
         match Cost_cache.seconds ctx (decode config) with
@@ -457,10 +483,10 @@ let tune_resumable ?(strategy = Auto) ?(budget = 400) ?(seed = 1) ?(chains = 1)
   result
 
 let tune ?strategy ?budget ?seed ?chains ?pool ?include_transfers
-    ?parallel_options ?db md dev cg =
+    ?parallel_options ?db ?saturate md dev cg =
   match
     tune_resumable ?strategy ?budget ?seed ?chains ?pool ?include_transfers
-      ?parallel_options ?db md dev cg
+      ?parallel_options ?db ?saturate md dev cg
   with
   | Ok (Tuned t) -> Ok t
   | Ok (Suspended _) -> assert false (* no deadline or stop was supplied *)

@@ -29,13 +29,18 @@ type tuning = {
 
 val space :
   ?parallel_options:int list list ->
+  ?saturate:bool ->
   Mdh_core.Md_hom.t ->
   Mdh_machine.Device.t ->
   Space.t * (Param.config -> Mdh_lowering.Schedule.t)
 (** The tuning space and the decoder from configurations to schedules.
     [parallel_options] restricts the parallel-dimension subsets that may be
     chosen (default: every parallelisable subset) — used to tune systems
-    whose compilers cannot parallelise reductions. *)
+    whose compilers cannot parallelise reductions. [saturate] (default
+    false) prunes tile size 1 on dimensions of extent > 1: unit tiling is
+    the structure {!Mdh_rewrite.Rewrite.saturate_plan}'s unit-tile
+    elimination removes, so the rewrite-aware search space need not
+    contain it. *)
 
 val tune :
   ?strategy:strategy ->
@@ -46,6 +51,7 @@ val tune :
   ?include_transfers:bool ->
   ?parallel_options:int list list ->
   ?db:Tuning_db.t ->
+  ?saturate:bool ->
   Mdh_core.Md_hom.t ->
   Mdh_machine.Device.t ->
   Mdh_lowering.Cost.codegen ->
@@ -56,8 +62,13 @@ val tune :
     chain count (not the pool) determines the result. [db] overrides the
     ambient tuning database ({!Tuning_db.set_ambient}); when one is in
     effect the search is skipped on a key hit and recorded on a miss.
-    [Error] when no legal schedule exists (cannot happen for well-formed
-    computations: the sequential schedule is always legal). *)
+    [saturate] (default false) tunes the rewrite-saturated computation
+    ({!Mdh_rewrite.Rewrite.saturate_outputs}) over the pruned {!space} —
+    returned schedules then belong to the saturated computation, and
+    database entries carry a distinct ["+rewrite"] key component so raw
+    and saturated results never shadow each other. [Error] when no legal
+    schedule exists (cannot happen for well-formed computations: the
+    sequential schedule is always legal). *)
 
 (** {1 Deadlines and crash-safe resume} *)
 
@@ -83,6 +94,7 @@ val tune_resumable :
   ?checkpoint_every:int ->
   ?resume:bool ->
   ?should_stop:(unit -> bool) ->
+  ?saturate:bool ->
   Mdh_core.Md_hom.t ->
   Mdh_machine.Device.t ->
   Mdh_lowering.Cost.codegen ->

@@ -61,6 +61,23 @@ let min _ty = builtin "min" None Scalar.min_v
 let custom ~name ?(associative = true) ?(commutative = false) ?identity apply =
   { fn_name = name; apply; associative; commutative; identity; builtin = false }
 
+(* bitwise-or reduction over integer elements; declared associative only —
+   commutativity is left for the property verifier to discover (MDH112) *)
+let bor ty =
+  let apply a b =
+    match (a, b) with
+    | Scalar.I32 x, Scalar.I32 y -> Scalar.I32 (Int32.logor x y)
+    | Scalar.I64 x, Scalar.I64 y -> Scalar.I64 (Int64.logor x y)
+    | _ -> invalid_arg "Combine.bor: integer values required"
+  in
+  let identity =
+    match ty with
+    | Scalar.Int32 -> Some (Scalar.i32 0)
+    | Scalar.Int64 -> Some (Scalar.i64 0)
+    | Scalar.Fp32 | Scalar.Fp64 | Scalar.Bool | Scalar.Char | Scalar.Record _ -> None
+  in
+  custom ~name:"bor" ~associative:true ~commutative:false ?identity apply
+
 let with_declared ?associative ?commutative ?identity fn =
   { fn with
     associative = Option.value associative ~default:fn.associative;

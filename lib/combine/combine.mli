@@ -70,6 +70,14 @@ val mul : Mdh_tensor.Scalar.ty -> custom_fn
 val max : Mdh_tensor.Scalar.ty -> custom_fn
 val min : Mdh_tensor.Scalar.ty -> custom_fn
 
+val bor : Mdh_tensor.Scalar.ty -> custom_fn
+(** Bitwise-or reduction over integer elements ([Int32]/[Int64]; other
+    types raise on application). Deliberately declared associative but
+    {e not} commutative, although the implementation is both — the
+    property verifier reports the undeclared commutativity ([MDH112]),
+    making this the frontend's witness for verified-but-undeclared
+    metadata. Custom-style ([builtin = false]). *)
+
 val custom :
   name:string ->
   ?associative:bool ->

@@ -124,10 +124,11 @@ let builtin_custom_fn pos ty = function
   | "mul" -> Combine.mul ty
   | "max" -> Combine.max ty
   | "min" -> Combine.min ty
+  | "bor" -> Combine.bor ty
   | other ->
     fail_at pos
       "unknown customising function %S (the pragma frontend provides add, mul, min, \
-       max; user-defined operators need the embedded API)"
+       max, bor; user-defined operators need the embedded API)"
       other
 
 let parse_combine_op st ~elem_ty =

@@ -106,19 +106,15 @@ let box_tiles (md : Md_hom.t) plan =
   List.iter (fun (dim, tile) -> tiles.(dim) <- tile) (Plan.tiled plan);
   tiles
 
-let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = true)
-    ?(specialize = true) pool (md : Md_hom.t) sched env =
+let run_with_plan ?(chunks_per_worker = default_chunks_per_worker)
+    ?(fastpath = true) ?(specialize = true) pool plan (md : Md_hom.t) env =
   if Array.exists (fun s -> s = 0) md.Md_hom.sizes then
     (* an empty dimension means zero jobs after decomposition, which would
        leave allocated outputs unwritten; parallel execution is pinned to
-       the sequential semantics for empty iteration spaces (the schedule
-       is irrelevant — there is no work to distribute) *)
+       the sequential semantics for empty iteration spaces (the plan is
+       irrelevant — there is no work to distribute) *)
     Ok (run_seq md env)
-  else
-  let dev = match device with Some d -> d | None -> host_device pool in
-  match Plan_cache.build md dev sched with
-  | Error _ as e -> e
-  | Ok plan ->
+  else begin
     Metrics.incr m_runs;
     let digest = if Profile.enabled () then Plan.digest plan else "" in
     Trace.with_span ~cat:"runtime" "exec.run"
@@ -265,3 +261,13 @@ let run ?device ?(chunks_per_worker = default_chunks_per_worker) ?(fastpath = tr
                 (Clock.ns_to_s (Int64.sub (Clock.now_ns ()) walker_t0));
             Ok env
           end)
+  end
+
+let run ?device ?chunks_per_worker ?fastpath ?specialize pool (md : Md_hom.t)
+    sched env =
+  if Array.exists (fun s -> s = 0) md.Md_hom.sizes then Ok (run_seq md env)
+  else
+    let dev = match device with Some d -> d | None -> host_device pool in
+    match Plan_cache.build md dev sched with
+    | Error _ as e -> e
+    | Ok plan -> run_with_plan ?chunks_per_worker ?fastpath ?specialize pool plan md env

@@ -44,6 +44,21 @@ val run :
     execution of an empty iteration space is defined to be the sequential
     semantics. *)
 
+val run_with_plan :
+  ?chunks_per_worker:int ->
+  ?fastpath:bool ->
+  ?specialize:bool ->
+  Pool.t ->
+  Mdh_lowering.Plan.t ->
+  Mdh_core.Md_hom.t ->
+  Mdh_tensor.Buffer.env ->
+  (Mdh_tensor.Buffer.env, string) result
+(** Execute an already-built plan directly, bypassing schedule legality
+    checks and the plan cache. This is how rewritten plans — which have no
+    originating schedule — are run: {!run} is [Plan_cache.build] followed
+    by this function. The plan must belong to [md] (same dimensions and
+    extents); options as in {!run}. *)
+
 val run_seq : Mdh_core.Md_hom.t -> Mdh_tensor.Buffer.env -> Mdh_tensor.Buffer.env
 (** Sequential in-place execution (alias for [Semantics.exec]), the
     baseline the parallel path is checked against. *)

@@ -3,7 +3,7 @@ let figure3 =
     Stencils.gaussian_2d; Stencils.jacobi_3d; Prl.prl; Ccsdt.ccsdt;
     Deep_learning.mcc; Deep_learning.mcc_caps ]
 
-let all = figure3 @ [ Mbbs.mbbs; Stencils.jacobi_1d ]
+let all = figure3 @ [ Mbbs.mbbs; Stencils.jacobi_1d; Kmeans.kmeans ]
 
 let find name =
   let lname = String.lowercase_ascii name in

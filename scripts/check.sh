@@ -78,6 +78,10 @@ dune exec bin/mdhc.exe -- check --strict --file examples/mbbs.mdh \
 dune exec bin/mdhc.exe -- check --strict --file examples/mcc.mdh \
     -P N=1 -P P=112 -P Q=112 -P K=64 -P R=7 -P S=7 -P C=3 > /dev/null
 
+# docs drift guard: the code index in docs/DIAGNOSTICS.md is generated from
+# Diagnostic.code_table (regenerate with: dune exec scripts/gen_diagnostics.exe)
+dune exec scripts/gen_diagnostics.exe -- --check
+
 # plan-consistency stage, part 1: Plan.t is the single executable IR.
 # The four consumers must not reach back into Schedule internals — a
 # match on Schedule fields in any of them means the refactor regressed.

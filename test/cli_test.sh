@@ -105,7 +105,7 @@ fi
 # --- mdhc check: the static diagnostics engine ---
 
 # this PR's version
-grep -q '^1\.6\.0' "$tmp/version.txt" || fail "--version is not 1.6.0"
+grep -q '^1\.7\.0' "$tmp/version.txt" || fail "--version is not 1.7.0"
 
 # --- mdhc plan: the executable IR, printed and fingerprinted ---
 
@@ -218,6 +218,54 @@ fi
 "$MDHC" check --json --file fixtures/broken.mdh >"$tmp/check.sarif" 2>&1 || true
 grep -q '"ruleId"' "$tmp/check.sarif" || fail "check --json emitted no ruleId"
 grep -q '"version":"2.1.0"' "$tmp/check.sarif" || fail "check --json is not SARIF 2.1.0"
+
+# --- mdhc optimize: the verified equality-saturation pass ---
+
+# a workload with redundancy reports applied rules, their justification,
+# and a cost-model delta
+"$MDHC" optimize prl >"$tmp/opt_prl.txt" 2>&1 || fail "optimize prl exited non-zero"
+grep -q 'raw plan:' "$tmp/opt_prl.txt" || fail "optimize printed no raw plan line"
+grep -q 'justification:' "$tmp/opt_prl.txt" || fail "optimize printed no justification"
+grep -q 'cost-model delta:' "$tmp/opt_prl.txt" || fail "optimize printed no delta"
+
+# unknown workloads and devices are clean non-zero exits
+if "$MDHC" optimize no-such-workload >/dev/null 2>&1; then
+  fail "optimize of unknown workload exited 0"
+fi
+if "$MDHC" optimize prl --device quantum >/dev/null 2>&1; then
+  fail "optimize on unknown device exited 0"
+fi
+
+# --json is a single mdh-optimize/1 document on stdout (deep
+# well-formedness is pinned in test_rewrite.ml through Json_in, which
+# parses this same emitter's output)
+"$MDHC" optimize prl --json --metrics >"$tmp/opt.json" 2>/dev/null ||
+  fail "optimize --json exited non-zero"
+head -c 1 "$tmp/opt.json" | grep -q '{' || fail "optimize --json stdout is not JSON"
+grep -q '"schema":"mdh-optimize/1"' "$tmp/opt.json" ||
+  fail "optimize --json has no schema"
+grep -q '"justification"' "$tmp/opt.json" || fail "optimize --json has no justification"
+if grep -q '\[metrics\]' "$tmp/opt.json"; then
+  fail "--metrics leaked into optimize --json stdout"
+fi
+
+# --no-rewrite reports the raw plan unchanged: same digest on both lines,
+# zero applied rules, and its raw line is bit-identical to the default
+# run's raw line (the pass only ever adds a rewritten alternative)
+"$MDHC" optimize prl --no-rewrite >"$tmp/opt_raw.txt" 2>&1 ||
+  fail "optimize --no-rewrite exited non-zero"
+grep -q 'no rewrites applied' "$tmp/opt_raw.txt" ||
+  fail "--no-rewrite still applied rewrites"
+raw_digest=$(grep -oE 'digest [0-9a-f]{8}' "$tmp/opt_raw.txt" | sort -u | wc -l)
+[ "$raw_digest" -eq 1 ] || fail "--no-rewrite changed the plan digest"
+grep '^raw plan:' "$tmp/opt_prl.txt" >"$tmp/opt_rawline_default.txt"
+grep '^raw plan:' "$tmp/opt_raw.txt" >"$tmp/opt_rawline_norw.txt"
+diff -u "$tmp/opt_rawline_default.txt" "$tmp/opt_rawline_norw.txt" >&2 ||
+  fail "--no-rewrite changed the raw plan line"
+
+# tune honours --no-rewrite as a first-class escape hatch
+"$MDHC" tune matmul --no-cache --budget 10 --no-rewrite >/dev/null 2>&1 ||
+  fail "tune --no-rewrite exited non-zero"
 
 # --- mdhc profile: the plan-level profiler ---
 

@@ -142,7 +142,8 @@ let test_code_table_stable () =
       ("MDH021", Diag.Error); ("MDH022", Diag.Error); ("MDH023", Diag.Warning);
       ("MDH101", Diag.Warning); ("MDH102", Diag.Warning);
       ("MDH103", Diag.Warning); ("MDH110", Diag.Hint); ("MDH111", Diag.Hint);
-      ("MDH112", Diag.Hint); ("MDH113", Diag.Hint) ]
+      ("MDH112", Diag.Hint); ("MDH113", Diag.Hint); ("MDH120", Diag.Hint);
+      ("MDH121", Diag.Hint) ]
   in
   check
     (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
@@ -180,7 +181,7 @@ let test_exit_code_policy () =
 (* --- SARIF --- *)
 
 let test_sarif_wellformed () =
-  let module J = Test_util.Json_reader in
+  let module J = Mdh_support.Json_in in
   let ds = Analyze.pragma broken_src in
   let json = J.parse (Diag.sarif ~tool_version:"0.0.0" [ ("broken.mdh", ds) ]) in
   (match J.member "version" json with
@@ -447,6 +448,35 @@ let test_pragma_lex_and_parse_errors () =
     check Alcotest.bool "parse span" true (d.Diag.span <> None)
   | _ -> Alcotest.fail "one syntax diagnostic expected"
 
+(* --- the hints fixture: one pragma firing every hint code with its span --- *)
+
+let test_hints_fixture_spans () =
+  (* runtest runs in test/, `dune exec` in the workspace root: accept both *)
+  let path =
+    if Sys.file_exists "fixtures/hints.mdh" then "fixtures/hints.mdh"
+    else "test/fixtures/hints.mdh"
+  in
+  let src = In_channel.with_open_text path In_channel.input_all in
+  let ds = Analyze.pragma src in
+  check Alcotest.int "fixture errors" 0 (Diag.error_count ds);
+  check Alcotest.int "fixture warnings" 0 (Diag.warning_count ds);
+  check Alcotest.int "fixture hints" 6 (List.length ds);
+  List.iter
+    (fun (code, line, col) ->
+      match find_code code ds with
+      | None -> Alcotest.failf "%s expected on hints.mdh" code
+      | Some d ->
+        check Alcotest.bool
+          (Printf.sprintf "%s span pinned at %d:%d" code line col)
+          true
+          (d.Diag.span = Some { Diag.line; col }))
+    [ ("MDH110", 2, 1);   (* loop u: degenerate extent 1 *)
+      ("MDH111", 1, 43);  (* b[k,u]: innermost index strided *)
+      ("MDH112", 1, 77);  (* bor: unexploited commutativity *)
+      ("MDH113", 1, 77);  (* 1-way cc vs 60-way tree reduction *)
+      ("MDH120", 1, 17);  (* (a[k]+1)^2 CSE: flops 4 -> 3 *)
+      ("MDH121", 1, 1) ]  (* int32 bor tree-balance 60 -> 32 *)
+
 (* --- whole-catalogue cleanliness (mirrors scripts/check.sh's gate) --- *)
 
 let test_catalogue_clean () =
@@ -491,4 +521,6 @@ let suite =
         test_plan_hint_reduction_parallelism;
       Alcotest.test_case "pragma lex/parse diagnostics" `Quick
         test_pragma_lex_and_parse_errors;
+      Alcotest.test_case "hints fixture spans pinned" `Quick
+        test_hints_fixture_spans;
       Alcotest.test_case "catalogue clean" `Quick test_catalogue_clean ] )

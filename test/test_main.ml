@@ -21,5 +21,6 @@ let () =
       Test_model_props.suite;
       Test_reports.suite;
       Test_obs.suite;
+      Test_rewrite.suite;
       Test_profile.suite;
       Test_analysis.suite ]

@@ -162,11 +162,9 @@ let test_kind_clash_rejected () =
 
 (* --- Chrome trace JSON --- *)
 
-(* minimal JSON reader, enough to validate the exporter's output without
-   pulling in a JSON dependency *)
-(* The minimal JSON reader lives in Test_util.Json_reader so other suites
-   (notably test_analysis's SARIF checks) can reuse it. *)
-module Json_reader = Test_util.Json_reader
+(* emitted JSON is validated with the library's own reader,
+   Mdh_support.Json_in — the same one mdhc and the bench gate use *)
+module Json_reader = Mdh_support.Json_in
 
 let chrome_dump () =
   let path = Filename.temp_file "mdh-trace" ".json" in

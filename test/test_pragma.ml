@@ -328,7 +328,7 @@ for (i = 0; i < 4; i++)
   let e = parse_err src in
   check Alcotest.string "golden diagnostic"
     "parse error at line 2, column 60: unknown customising function \"bogus\" \
-     (the pragma frontend provides add, mul, min, max; user-defined operators \
+     (the pragma frontend provides add, mul, min, max, bor; user-defined operators \
      need the embedded API)"
     (Parser.error_to_string e)
 

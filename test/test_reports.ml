@@ -126,8 +126,8 @@ let test_figure4_no_baseline_beats_mdh () =
 
 let test_failure_matrix () =
   let t = Failures.table () in
-  (* 11 figure-3 workloads + MBBS + Jacobi1D *)
-  check Alcotest.int "rows" 13 (List.length (Table.rows t));
+  (* 11 figure-3 workloads + MBBS + Jacobi1D + KMeans *)
+  check Alcotest.int "rows" 14 (List.length (Table.rows t));
   let row name =
     match
       List.find_index (fun cells -> List.hd cells = name) (Table.rows t)

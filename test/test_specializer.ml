@@ -54,8 +54,8 @@ let plan_of md sched =
 
 let test_specializer_matches_reference () =
   (* every workload x pinned-random legal schedules: Specializer.try_run
-     agrees with Semantics.exec within the repository tolerance. PRL is
-     the one computation it must refuse (records + a non-builtin
+     agrees with Semantics.exec within the repository tolerance. PRL and
+     KMeans are the computations it must refuse (records + a non-builtin
      reduction operator) — refusing is part of the contract. *)
   let rng = Rng.create 20260 in
   with_pool (fun pool ->
@@ -63,12 +63,13 @@ let test_specializer_matches_reference () =
         (fun (w : W.t) ->
           let md = W.to_md_hom w w.W.test_params in
           let env = w.W.gen w.W.test_params ~seed:17 in
-          if String.lowercase_ascii w.W.wl_name = "prl" then begin
+          if List.mem (String.lowercase_ascii w.W.wl_name) [ "prl"; "kmeans" ]
+          then begin
             let plan = plan_of md (Schedule.sequential md) in
             (match Specializer.supported plan md with
-            | Ok () -> Alcotest.fail "PRL reported specializable"
+            | Ok () -> Alcotest.failf "%s reported specializable" w.W.wl_name
             | Error _ -> ());
-            check Alcotest.bool "PRL refused" true
+            check Alcotest.bool (w.W.wl_name ^ " refused") true
               (Specializer.try_run pool plan md env = None)
           end
           else begin

@@ -26,130 +26,3 @@ let dense_approx : Mdh_tensor.Dense.t Alcotest.testable =
   Alcotest.testable Mdh_tensor.Dense.pp
     (Mdh_tensor.Dense.approx_equal ~rel:1e-4 ~abs:1e-5)
 
-(* A minimal JSON reader for checking emitted JSON (Chrome traces, SARIF)
-   without external dependencies. Only what the tests need. *)
-module Json_reader = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  exception Bad of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
-    let advance () = incr pos in
-    let skip_ws () =
-      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-        advance ()
-      done
-    in
-    let expect c =
-      if peek () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
-      advance ()
-    in
-    let parse_string () =
-      expect '"';
-      let buf = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | '"' -> advance ()
-        | '\\' ->
-          advance ();
-          (match peek () with
-          | '"' -> Buffer.add_char buf '"'; advance ()
-          | '\\' -> Buffer.add_char buf '\\'; advance ()
-          | '/' -> Buffer.add_char buf '/'; advance ()
-          | 'n' -> Buffer.add_char buf '\n'; advance ()
-          | 't' -> Buffer.add_char buf '\t'; advance ()
-          | 'r' -> Buffer.add_char buf '\r'; advance ()
-          | 'b' -> Buffer.add_char buf '\b'; advance ()
-          | 'f' -> Buffer.add_char buf '\012'; advance ()
-          | 'u' ->
-            advance ();
-            let hex = String.sub s !pos 4 in
-            pos := !pos + 4;
-            Buffer.add_string buf (Printf.sprintf "\\u%s" hex)
-          | c -> raise (Bad (Printf.sprintf "bad escape %c" c)));
-          go ()
-        | c -> Buffer.add_char buf c; advance (); go ()
-      in
-      go ();
-      Buffer.contents buf
-    in
-    let parse_number () =
-      let start = !pos in
-      let numchar c =
-        match c with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while !pos < n && numchar s.[!pos] do advance () done;
-      if !pos = start then raise (Bad "empty number");
-      float_of_string (String.sub s start (!pos - start))
-    in
-    let parse_lit lit v =
-      if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
-      then begin
-        pos := !pos + String.length lit;
-        v
-      end
-      else raise (Bad ("bad literal at " ^ string_of_int !pos))
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = '}' then begin advance (); Obj [] end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' -> advance (); members ((k, v) :: acc)
-            | '}' -> advance (); List.rev ((k, v) :: acc)
-            | c -> raise (Bad (Printf.sprintf "bad object sep %c" c))
-          in
-          Obj (members [])
-        end
-      | '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = ']' then begin advance (); Arr [] end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | ',' -> advance (); elements (v :: acc)
-            | ']' -> advance (); List.rev (v :: acc)
-            | c -> raise (Bad (Printf.sprintf "bad array sep %c" c))
-          in
-          Arr (elements [])
-        end
-      | '"' -> Str (parse_string ())
-      | 't' -> parse_lit "true" (Bool true)
-      | 'f' -> parse_lit "false" (Bool false)
-      | 'n' -> parse_lit "null" Null
-      | _ -> Num (parse_number ())
-    in
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then raise (Bad "trailing garbage");
-    v
-
-  let member k = function
-    | Obj kvs -> List.assoc_opt k kvs
-    | _ -> None
-end
