@@ -3,7 +3,7 @@
 
      main.exe gate [BASELINES]        (default scripts/bench_baselines.json)
 
-   Two artifacts are checked from the current directory:
+   Three artifacts are checked from the current directory:
 
    - BENCH_plan_exec.json: for every workload with a committed
      special_speedup, the fresh specializer speedup over the interp walker
@@ -14,6 +14,10 @@
      min_mean_spearman, and no single workload may rank below
      min_workload_spearman (workloads whose correlation is null — fewer
      than two priced schedules — are skipped, not failed).
+   - BENCH_serve.json: the mdhd load generator must have benched at
+     least min_levels concurrency levels, and every level must hold a
+     throughput floor, a shed-rate ceiling and an error cap (see
+     check_serve below for why the bounds are structural, not absolute).
 
    Every violated bound prints one line; any violation exits 1. A missing
    artifact is a hard failure: the gate must never pass by not running. *)
@@ -103,6 +107,47 @@ let check_model_acc baselines =
           fail "model-acc %s: spearman %+.2f < floor %+.2f" name s min_each)
     (Option.value ~default:[] (J.get_list fresh "workloads"))
 
+(* The serve floors are deliberately loose (sized for a slow shared CI
+   runner): they reject a daemon that stopped serving, started erroring,
+   or sheds most of its load under mild concurrency — not one that got
+   slower in absolute terms. *)
+let check_serve baselines =
+  let fresh = load "BENCH_serve.json" in
+  let min_levels =
+    int_of_float (req "serve.min_levels" (J.get_float baselines "min_levels"))
+  in
+  let min_rps = req "serve.min_throughput_rps" (J.get_float baselines "min_throughput_rps") in
+  let max_shed = req "serve.max_shed_rate" (J.get_float baselines "max_shed_rate") in
+  let max_errors =
+    int_of_float (req "serve.max_errors" (J.get_float baselines "max_errors"))
+  in
+  let rows = Option.value ~default:[] (J.get_list fresh "levels") in
+  if List.length rows < min_levels then
+    fail "serve: %d concurrency level(s) benched < required %d"
+      (List.length rows) min_levels;
+  List.iter
+    (fun row ->
+      let c =
+        int_of_float (Option.value ~default:0.0 (J.get_float row "concurrency"))
+      in
+      let rps = Option.value ~default:0.0 (J.get_float row "throughput_rps") in
+      let shed = Option.value ~default:1.0 (J.get_float row "shed_rate") in
+      let errors =
+        int_of_float (Option.value ~default:1.0 (J.get_float row "errors"))
+      in
+      if rps < min_rps then
+        fail "serve c=%d: throughput %.1f req/s < floor %.1f" c rps min_rps
+      else if shed > max_shed then
+        fail "serve c=%d: shed rate %.3f > ceiling %.3f" c shed max_shed
+      else if errors > max_errors then
+        fail "serve c=%d: %d error reply/transport failure(s) (max %d)" c
+          errors max_errors
+      else
+        Printf.printf
+          "[gate] ok   serve c=%d: %.1f req/s >= %.1f, shed %.3f <= %.3f\n" c
+          rps min_rps shed max_shed)
+    rows
+
 let run baselines_path =
   let baselines = load baselines_path in
   (match J.get_string baselines "schema" with
@@ -116,6 +161,9 @@ let run baselines_path =
   | None -> ());
   (match J.member "model_acc" baselines with
   | Some b -> check_model_acc b
+  | None -> ());
+  (match J.member "serve" baselines with
+  | Some b -> check_serve b
   | None -> ());
   if !failures > 0 then begin
     Printf.printf "[gate] %d regression(s) against %s\n" !failures baselines_path;

@@ -25,7 +25,7 @@ let usage () =
     \                [figure3|figure4 [gpu|cpu]|failure-matrix|prl-study|\n\
     \                 ablation-openacc-tiling|ablation-tiling|\n\
     \                 ablation-reduction-parallel|ablation-tuning-budget|micro|\n\
-    \                 plan-exec|model-acc|gate [BASELINES]]\n\
+    \                 plan-exec|model-acc|serve|gate [BASELINES]]\n\
     \n\
     \  --metrics     print the observability summary (pool utilization, per-\n\
     \                workload cache hit/miss) and write BENCH_obs.json\n\
@@ -191,6 +191,7 @@ let () =
   | [ "ablation-tuning-budget" ] -> run Mdh_reports.Ablations.tuning_budget
   | [ "micro" ] -> run Micro.run
   | [ "plan-exec" ] -> run Plan_exec.run
+  | [ "serve" ] -> run Serve_bench.run
   | [ "model-acc" ] -> run Model_acc.run
   | [ "gate" ] -> Gate.run "scripts/bench_baselines.json"
   | [ "gate"; baselines ] -> Gate.run baselines

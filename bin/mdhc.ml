@@ -24,11 +24,13 @@
      mdhc plan matvec --device cpu      (print the executable plan IR)
      mdhc plan --digest                 (stable structural fingerprints)
      mdhc profile matmul                (per-plan-level time breakdown)
-     mdhc profile matmul --json --flame matmul.folded *)
+     mdhc profile matmul --json --flame matmul.folded
+     mdhc tune matmul --remote /tmp/mdh.sock   (via a running mdhd daemon)
+     mdhc run prl --remote /tmp/mdh.sock *)
 
 open Cmdliner
 
-let version = "1.7.0"
+let version = "1.8.0"
 
 module W = Mdh_workloads.Workload
 module Device = Mdh_machine.Device
@@ -65,6 +67,56 @@ let or_die = function
   | Error msg ->
     prerr_endline ("mdhc: " ^ msg);
     exit 1
+
+(* --- remote mode (tuning-as-a-service, docs/SERVING.md) --- *)
+
+module Client = Mdh_serve.Client
+module Protocol = Mdh_serve.Protocol
+module Js = Mdh_obs.Json
+module Jin = Mdh_support.Json_in
+
+let remote_arg =
+  let doc =
+    "Send this command to a running mdhd daemon at Unix socket $(docv) \
+     instead of executing locally. The daemon's shared caches and tuning \
+     database serve the request; output matches the local command. See \
+     docs/SERVING.md for the protocol."
+  in
+  Arg.(value & opt (some string) None & info [ "remote" ] ~doc ~docv:"SOCK")
+
+(* one request, one reply; protocol-level failures (shed, bad request,
+   handler error) die with the daemon's stable error code so scripts can
+   distinguish overload from misuse *)
+let remote_call ~socket ~metrics ~op fields =
+  match Client.request ~metrics ~socket ~op fields with
+  | Error e -> or_die (Error e)
+  | Ok r when not r.Client.ok ->
+    let code = Option.value ~default:"error" r.Client.code in
+    let msg = Option.value ~default:"request failed" r.Client.error in
+    let hint =
+      match r.Client.retry_after_s with
+      | Some s -> Printf.sprintf " (retry after %.2gs)" s
+      | None -> ""
+    in
+    or_die (Error (Printf.sprintf "mdhd: %s: %s%s" code msg hint))
+  | Ok r -> r
+
+let remote_result (r : Client.reply) =
+  match r.Client.result with
+  | Some body -> body
+  | None -> or_die (Error "mdhd: malformed reply (no result object)")
+
+let rstr body name =
+  match Jin.get_string body name with
+  | Some s -> s
+  | None -> or_die (Error (Printf.sprintf "mdhd: reply is missing %S" name))
+
+let rnum body name =
+  match Jin.get_float body name with
+  | Some f -> f
+  | None -> or_die (Error (Printf.sprintf "mdhd: reply is missing %S" name))
+
+let rint body name = int_of_float (Float.round (rnum body name))
 
 (* --- arguments --- *)
 
@@ -213,6 +265,18 @@ let emit_metrics ~metrics ~metrics_out parts =
       flush stderr
   end
 
+(* remote --metrics/--metrics-out: the daemon piggybacks its whole
+   registry on the reply envelope (one-line JSON under "metrics", see
+   Protocol) and the client writes it where the local report would go *)
+let emit_remote_metrics ~metrics ~metrics_out (r : Client.reply) =
+  if metrics || metrics_out <> None then
+    match r.Client.metrics with
+    | Some m ->
+      emit_metrics ~metrics:true ~metrics_out [ Protocol.render m ^ "\n" ]
+    | None -> ()
+
+let want_remote_metrics ~metrics ~metrics_out = metrics || metrics_out <> None
+
 let finish_obs ~trace ~metrics ~metrics_out =
   emit_metrics ~metrics ~metrics_out
     [ Mdh_obs.Metrics.summary (); Mdh_obs.Trace.summary () ];
@@ -314,9 +378,60 @@ let tune_cmd =
              By default the verified rewrite pass saturates the computation \
              first and the search runs over the pruned space; disable with \
              --no-rewrite." in
+  let remote_tune ~socket name device input budget seed chains strategy
+      deadline resume no_rewrite metrics metrics_out =
+    let strategy_name =
+      match strategy with
+      | Mdh_atf.Tuner.Auto -> "auto"
+      | Mdh_atf.Tuner.Exhaustive -> "exhaustive"
+      | Mdh_atf.Tuner.Random -> "random"
+      | Mdh_atf.Tuner.Anneal -> "anneal"
+    in
+    let fields =
+      [ ("workload", Js.quote name); ("device", Js.quote device);
+        ("input", Js.quote input); ("budget", string_of_int budget);
+        ("seed", string_of_int seed); ("chains", string_of_int chains);
+        ("strategy", Js.quote strategy_name) ]
+      @ (if no_rewrite then [ ("no_rewrite", "true") ] else [])
+      @ (if resume then [ ("resume", "true") ] else [])
+      @
+      match deadline with
+      | Some d -> [ ("deadline_s", Protocol.number d) ]
+      | None -> []
+    in
+    let r =
+      remote_call ~socket
+        ~metrics:(want_remote_metrics ~metrics ~metrics_out)
+        ~op:"tune" fields
+    in
+    let body = remote_result r in
+    emit_remote_metrics ~metrics ~metrics_out r;
+    match rstr body "status" with
+    | "suspended" ->
+      Printf.eprintf
+        "mdhc: tune: the daemon suspended the search after %d evaluations \
+         (token %s)\nmdhc: rerun with --resume to continue it\n%!"
+        (rint body "evaluations") (rstr body "token");
+      exit 3
+    | _ ->
+      (* reprint through the local pretty-printers so the output is
+         byte-identical to a local `mdhc tune` of the same request *)
+      let sched = or_die (Schedule.of_string (rstr body "schedule")) in
+      Format.printf "best schedule: %a@." Schedule.pp sched;
+      Printf.printf "estimated time: %s\n"
+        (Format.asprintf "%.6gs" (rnum body "estimated_s"));
+      if Jin.get_bool body "from_db" = Some true then
+        Printf.printf "recalled from tuning db (0 evaluations)\n"
+      else Printf.printf "evaluations: %d\n" (rint body "evaluations")
+  in
   let run name device input budget seed chains strategy deadline checkpoint
       checkpoint_every resume parallel no_cache no_rewrite tuning_db inject
-      trace metrics metrics_out =
+      trace metrics metrics_out remote =
+    match remote with
+    | Some socket ->
+      remote_tune ~socket name device input budget seed chains strategy
+        deadline resume no_rewrite metrics metrics_out
+    | None ->
     setup_faults ~inject;
     setup_cache ~no_cache ~tuning_db;
     setup_obs ~trace;
@@ -369,7 +484,7 @@ let tune_cmd =
       $ chains_arg $ strategy_arg $ deadline_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ parallel_arg $ no_cache_arg
       $ no_rewrite_arg $ tuning_db_arg $ inject_arg $ trace_arg $ metrics_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ remote_arg)
 
 let compare_cmd =
   let doc = "Compare every system of the Figure 4 line-up on one workload." in
@@ -497,8 +612,36 @@ let run_cmd =
     let doc = "Disable the plan-compiled specializer (auto backend only)." in
     Arg.(value & flag & info [ "no-specialize" ] ~doc)
   in
+  let remote_run ~socket name input seed metrics metrics_out =
+    let r =
+      remote_call ~socket
+        ~metrics:(want_remote_metrics ~metrics ~metrics_out)
+        ~op:"exec"
+        [ ("workload", Js.quote name); ("input", Js.quote input);
+          ("seed", string_of_int seed) ]
+    in
+    let body = remote_result r in
+    emit_remote_metrics ~metrics ~metrics_out r;
+    Printf.printf "executed %s in %.4fs (remote)\n" (rstr body "workload")
+      (rnum body "elapsed_s");
+    match Jin.get_bool body "checked" with
+    | Some true -> print_endline "result check: OK"
+    | Some false ->
+      (* the daemon replies exec_mismatch before this can happen, but a
+         reply is data — never trust it blindly *)
+      print_endline "result check: MISMATCH";
+      exit 1
+    | None -> print_endline "no independent oracle for this workload"
+  in
   let run name input seed parallel backend no_specialize trace metrics
-      metrics_out =
+      metrics_out remote =
+    (match remote with
+    | Some socket ->
+      if backend <> `Auto then
+        or_die (Error "--backend is not available with --remote");
+      remote_run ~socket name input seed metrics metrics_out;
+      exit 0
+    | None -> ());
     setup_obs ~trace;
     let w = or_die (find_workload name) in
     let params = or_die (params_of w input) in
@@ -575,7 +718,7 @@ let run_cmd =
       const run $ workload_arg
       $ Arg.(value & opt string "test" & info [ "input"; "i" ])
       $ seed_arg $ parallel_arg $ backend_arg $ no_specialize_arg $ trace_arg
-      $ metrics_arg $ metrics_out_arg)
+      $ metrics_arg $ metrics_out_arg $ remote_arg)
 
 let check_cmd =
   let doc =
@@ -607,7 +750,41 @@ let check_cmd =
     let doc = "Treat warnings as fatal: exit 1 when any warning is reported." in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
-  let run workload file params json strict metrics metrics_out =
+  let remote_check ~socket workload strict metrics metrics_out =
+    let fields =
+      match workload with
+      | Some name -> [ ("workload", Js.quote name) ]
+      | None -> []
+    in
+    let r =
+      remote_call ~socket
+        ~metrics:(want_remote_metrics ~metrics ~metrics_out)
+        ~op:"check" fields
+    in
+    let body = remote_result r in
+    emit_remote_metrics ~metrics ~metrics_out r;
+    (match Jin.member "diagnostics" body with
+    | Some (Jin.Arr ds) ->
+      List.iter
+        (fun d ->
+          let f n = Option.value ~default:"?" (Jin.get_string d n) in
+          Printf.printf "%s: %s[%s]: %s\n" (f "target") (f "severity")
+            (f "code") (f "message"))
+        ds
+    | _ -> ());
+    let errors = rint body "errors" and warnings = rint body "warnings" in
+    Printf.printf
+      "checked %d target(s): %d error(s), %d warning(s), %d hint(s)\n"
+      (rint body "targets") errors warnings (rint body "hints");
+    exit (if errors > 0 || (strict && warnings > 0) then 1 else 0)
+  in
+  let run workload file params json strict metrics metrics_out remote =
+    (match remote with
+    | Some socket ->
+      if file <> None then or_die (Error "--file is not available with --remote");
+      if json then or_die (Error "--json is not available with --remote");
+      remote_check ~socket workload strict metrics metrics_out
+    | None -> ());
     let targets =
       match (file, workload) with
       | Some f, _ ->
@@ -648,7 +825,7 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ workload_opt_arg $ file_arg $ params_arg $ json_arg
-      $ strict_arg $ metrics_arg $ metrics_out_arg)
+      $ strict_arg $ metrics_arg $ metrics_out_arg $ remote_arg)
 
 let optimize_cmd =
   let doc =
@@ -665,7 +842,39 @@ let optimize_cmd =
     let doc = "Emit the report as JSON (schema mdh-optimize/1) on stdout." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run name device input no_rewrite json metrics metrics_out =
+  let remote_optimize ~socket name device input metrics metrics_out =
+    let r =
+      remote_call ~socket
+        ~metrics:(want_remote_metrics ~metrics ~metrics_out)
+        ~op:"optimize"
+        [ ("workload", Js.quote name); ("device", Js.quote device);
+          ("input", Js.quote input) ]
+    in
+    let body = remote_result r in
+    emit_remote_metrics ~metrics ~metrics_out r;
+    Printf.printf "optimize %s on %s: %.6gs -> %.6gs (digest %s -> %s)\n"
+      (String.lowercase_ascii name)
+      device (rnum body "raw_seconds") (rnum body "seconds")
+      (rstr body "raw_digest") (rstr body "digest");
+    match Jin.member "applied" body with
+    | Some (Jin.Arr rules) ->
+      List.iter
+        (fun rule ->
+          let f n = Option.value ~default:"?" (Jin.get_string rule n) in
+          Printf.printf "  [%s] %s @ %s (%s)\n" (f "tier") (f "rule")
+            (f "site") (f "justification"))
+        rules
+    | _ -> ()
+  in
+  let run name device input no_rewrite json metrics metrics_out remote =
+    (match remote with
+    | Some socket ->
+      if no_rewrite then
+        or_die (Error "--no-rewrite is not available with --remote");
+      if json then or_die (Error "--json is not available with --remote");
+      remote_optimize ~socket name device input metrics metrics_out;
+      exit 0
+    | None -> ());
     let w = or_die (find_workload name) in
     let dev = or_die (device_of_string device) in
     let params = or_die (params_of w input) in
@@ -700,7 +909,7 @@ let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc)
     Term.(
       const run $ workload_arg $ device_arg $ input_arg $ no_rewrite_arg
-      $ json_arg $ metrics_arg $ metrics_out_arg)
+      $ json_arg $ metrics_arg $ metrics_out_arg $ remote_arg)
 
 let plan_cmd =
   let doc =
@@ -730,7 +939,42 @@ let plan_cmd =
     let doc = "Print only $(i,workload device digest) lines." in
     Arg.(value & flag & info [ "digest" ] ~doc)
   in
-  let run workload device input schedule digest no_cache metrics metrics_out =
+  let remote_plan ~socket workload device input digest metrics metrics_out =
+    let name =
+      match workload with
+      | Some name -> name
+      | None -> or_die (Error "--remote plan needs an explicit workload")
+    in
+    let tags = match device with Some d -> [ d ] | None -> [ "cpu"; "gpu" ] in
+    List.iteri
+      (fun i tag ->
+        let r =
+          remote_call ~socket
+            ~metrics:(want_remote_metrics ~metrics ~metrics_out)
+            ~op:"plan"
+            [ ("workload", Js.quote name); ("device", Js.quote tag);
+              ("input", Js.quote input) ]
+        in
+        let body = remote_result r in
+        if i = 0 then emit_remote_metrics ~metrics ~metrics_out r;
+        if digest then
+          Printf.printf "%-12s %-4s %s\n" (String.lowercase_ascii name) tag
+            (rstr body "digest")
+        else
+          Format.printf "%s on %s (parallelism %d, digest %s):@.%s@.@."
+            (String.lowercase_ascii name)
+            (rstr body "device") (rint body "parallelism") (rstr body "digest")
+            (rstr body "plan"))
+      tags
+  in
+  let run workload device input schedule digest no_cache metrics metrics_out
+      remote =
+    match remote with
+    | Some socket ->
+      if schedule <> None then
+        or_die (Error "--schedule is not available with --remote");
+      remote_plan ~socket workload device input digest metrics metrics_out
+    | None ->
     if no_cache then Mdh_lowering.Plan_cache.set_enabled false;
     Mdh_lowering.Plan_cache.reset_stats ();
     let workloads =
@@ -786,7 +1030,7 @@ let plan_cmd =
       const run $ workload_opt_arg $ device_opt_arg
       $ Arg.(value & opt string "test" & info [ "input"; "i" ] ~docv:"1|2|test")
       $ schedule_arg $ digest_arg $ no_cache_arg $ metrics_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ remote_arg)
 
 let profile_cmd =
   let doc =

@@ -6,6 +6,15 @@ type t = {
   path : string option; (* None = in-memory only, nothing ever persisted *)
   entries : (string, Schedule.t * float) Hashtbl.t;
   mutex : Mutex.t;
+  io_mutex : Mutex.t;
+      (* serialises this handle's file operations against each other.
+         [Unix.lockf] locks are held per-process, so two threads (or
+         domains) of one process both "acquire" the advisory lock at
+         once: without this mutex an append racing a compaction can
+         write its line to the pre-rename inode (losing the entry), and
+         two compactions can clobber each other's temp file. Ordering:
+         io_mutex is always taken OUTSIDE [mutex] (never while holding
+         it). *)
   hits : int Atomic.t;
   lookups : int Atomic.t;
   mutable persist : bool; (* flips off on EACCES/EROFS-style failures *)
@@ -164,6 +173,7 @@ let load t path =
 
 let make path =
   { path; entries = Hashtbl.create 64; mutex = Mutex.create ();
+    io_mutex = Mutex.create ();
     hits = Atomic.make 0; lookups = Atomic.make 0;
     persist = path <> None; warned = false }
 
@@ -186,6 +196,10 @@ let size t = Hashtbl.length t.entries
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let with_io_lock t f =
+  Mutex.lock t.io_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.io_mutex) f
 
 let find t key =
   Atomic.incr t.lookups;
@@ -212,6 +226,7 @@ let append_line t key schedule cost =
   | Some path when t.persist -> (
     try
       mkdir_p (Filename.dirname path);
+      with_io_lock t @@ fun () ->
       with_file_lock path (fun () ->
           Fault.hit "db.write";
           let line = Fault.mangle "db.write" (format_line key schedule cost) in
@@ -254,9 +269,13 @@ let compact t =
   | Some path when t.persist -> (
     try
       mkdir_p (Filename.dirname path);
-      with_lock t (fun () ->
-          with_file_lock path (fun () ->
-              replace_with path (fun oc -> write_entries oc t.entries)))
+      (* snapshot under the table mutex, write under the io mutex — the
+         io mutex is what keeps a concurrent [append_line] from hitting
+         the pre-rename inode (lockf cannot: it is per-process) *)
+      let snapshot = with_lock t (fun () -> Hashtbl.copy t.entries) in
+      with_io_lock t @@ fun () ->
+      with_file_lock path (fun () ->
+          replace_with path (fun oc -> write_entries oc snapshot))
     with
     | Unix.Unix_error _ | Sys_error _ ->
       disable_persistence t (path ^ " is not writable")
@@ -271,8 +290,9 @@ let clear t =
   match t.path with
   | None -> ()
   | Some path ->
-    List.iter remove_if_exists
-      [ path; path ^ ".tmp"; quarantine_path path; lock_path path ]
+    with_io_lock t (fun () ->
+        List.iter remove_if_exists
+          [ path; path ^ ".tmp"; quarantine_path path; lock_path path ])
 
 type stats = { n_hits : int; n_lookups : int; n_entries : int }
 

@@ -18,6 +18,11 @@
       (temp file + rename, [atf.tuning_db.quarantined]);
     - writers and the loader hold an advisory [Unix.lockf] lock on
       [PATH.lock], so concurrent processes never interleave writes;
+      [lockf] locks are per-process, so a handle additionally serialises
+      its own file operations behind an in-process mutex — threads or
+      domains sharing the handle (the mdhd daemon does) can append and
+      compact concurrently without losing journal lines to the
+      compaction's rename;
     - persistence is best-effort: unreadable or unwritable paths degrade
       to an in-memory database with a single warning
       ([atf.tuning_db.memory_only]) and never fail the tuning run. *)

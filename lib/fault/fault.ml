@@ -26,7 +26,8 @@ type trigger = {
 }
 
 let sites =
-  [ "pool.job"; "kernel.run"; "cost.eval"; "db.read"; "db.write"; "db.rename" ]
+  [ "pool.job"; "kernel.run"; "cost.eval"; "db.read"; "db.write"; "db.rename";
+    "serve.accept"; "serve.read"; "serve.write"; "serve.handle" ]
 
 let armed_flag = Atomic.make false
 let triggers : trigger list ref = ref []
@@ -52,7 +53,8 @@ let trigger_to_string t =
 let grammar =
   "SPEC     := CLAUSE (',' CLAUSE)*\n\
    CLAUSE   := SITE ':' ACTION ['@' N] ['/' EVERY]\n\
-   SITE     := pool.job | kernel.run | cost.eval | db.read | db.write | db.rename\n\
+   SITE     := pool.job | kernel.run | cost.eval | db.read | db.write\n\
+  \          | db.rename | serve.accept | serve.read | serve.write | serve.handle\n\
    ACTION   := raise              (raise Mdh_fault.Fault.Injected)\n\
   \          | delay=MILLIS       (sleep before proceeding)\n\
   \          | truncate=N         (keep only N bytes of the payload)\n\

@@ -1,0 +1,92 @@
+module Jin = Mdh_support.Json_in
+module J = Mdh_obs.Json
+
+type reply = {
+  ok : bool;
+  code : string option;
+  error : string option;
+  retry_after_s : float option;
+  result : Jin.t option;
+  metrics : Jin.t option;
+}
+
+let parse_reply line =
+  match Jin.parse line with
+  | exception Jin.Parse_error e -> Error ("malformed reply: " ^ e)
+  | body ->
+    let ok = match Jin.get_bool body "ok" with Some b -> b | None -> false in
+    Ok
+      { ok;
+        code = Jin.get_string body "code";
+        error = Jin.get_string body "error";
+        retry_after_s = Jin.get_float body "retry_after_s";
+        result = Jin.member "result" body;
+        metrics = Jin.member "metrics" body }
+
+let recv_reply fd deadline =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match String.index_opt (Buffer.contents buf) '\n' with
+    | Some i -> Ok (String.sub (Buffer.contents buf) 0 i)
+    | None ->
+      let remain = deadline -. Unix.gettimeofday () in
+      if remain <= 0.0 then Error "timed out waiting for reply"
+      else begin
+        match Unix.select [ fd ] [] [] remain with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | [], _, _ -> Error "timed out waiting for reply"
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+            if Buffer.length buf = 0 then
+              Error "connection closed before any reply"
+            else Ok (Buffer.contents buf)
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (err, _, _) ->
+            Error
+              (Printf.sprintf "connection lost before a reply (%s)"
+                 (Unix.error_message err)))
+      end
+  in
+  go ()
+
+let rpc ?(timeout_s = 60.0) ~socket line =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+  @@ fun () ->
+  match
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+    Unix.connect fd (Unix.ADDR_UNIX socket)
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "%s: cannot reach mdhd (%s) — is the daemon running?"
+         socket (Unix.error_message err))
+  | () -> (
+    let data = line ^ "\n" in
+    match
+      let rec w off =
+        if off < String.length data then
+          w (off + Unix.write_substring fd data off (String.length data - off))
+      in
+      w 0
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error (Printf.sprintf "%s: send failed (%s)" socket (Unix.error_message err))
+    | () -> (
+      match recv_reply fd deadline with
+      | Error _ as e -> e
+      | Ok reply_line -> parse_reply reply_line))
+
+let request ?timeout_s ?(metrics = false) ~socket ~op fields =
+  let body =
+    J.obj
+      ((("op", J.quote op) :: fields)
+      @ if metrics then [ ("metrics", "true") ] else [])
+  in
+  rpc ?timeout_s ~socket body

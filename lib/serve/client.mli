@@ -1,0 +1,37 @@
+(** Client side of the mdhd protocol — what [mdhc --remote SOCK] uses.
+
+    One call = connect, send one request line, read one reply line,
+    close. The transport is deliberately stateless per request: mdhd's
+    connections are cheap (Unix-domain), and a fresh connection per
+    request means a shed or crashed request never poisons a later one. *)
+
+type reply = {
+  ok : bool;
+  code : string option;  (** machine error code when [ok = false] *)
+  error : string option;  (** human message when [ok = false] *)
+  retry_after_s : float option;  (** shedding back-off hint *)
+  result : Mdh_support.Json_in.t option;  (** the [result] object *)
+  metrics : Mdh_support.Json_in.t option;
+      (** the server registry dump, present when the request asked for
+          ["metrics": true] — remote [--metrics-out] writes
+          {!Protocol.render} of this *)
+}
+
+val rpc :
+  ?timeout_s:float -> socket:string -> string -> (reply, string) result
+(** [rpc ~socket line] sends [line] (one JSON request, no trailing
+    newline needed) and parses the reply envelope. [Error] covers
+    transport problems — daemon not running, connect refused, timeout
+    ([timeout_s] default 60, bounding connect + send + receive), reply
+    not valid JSON. Protocol-level failures (shed, bad request, handler
+    error) come back as [Ok { ok = false; ... }]. *)
+
+val request :
+  ?timeout_s:float ->
+  ?metrics:bool ->
+  socket:string ->
+  op:string ->
+  (string * string) list ->
+  (reply, string) result
+(** Build the request object from already-rendered JSON fields (name,
+    value) plus ["op"] and send it via {!rpc}. *)

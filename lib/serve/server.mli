@@ -1,0 +1,80 @@
+(** mdhd — the fault-tolerant tuning-as-a-service daemon core.
+
+    A long-running Unix-domain-socket server speaking the newline-
+    delimited JSON protocol of {!Protocol}, sharing one process-wide
+    {!Mdh_lowering.Plan_cache} / {!Mdh_atf.Cost_cache} / rewrite cache
+    and one ambient {!Mdh_atf.Tuning_db} across every client. The
+    robustness contract (pinned by test_serve and the check.sh serve
+    stage):
+
+    - {b Admission control}: the accept loop admits at most
+      [workers + max_queue] connections; beyond that it sheds with a
+      structured [overloaded] reply carrying a [retry_after_s] hint and
+      closes — it never queues unboundedly and never blocks on a slow
+      client ([serve.shed] counter).
+    - {b Deadlines}: [tune] requests run through
+      {!Mdh_atf.Tuner.tune_resumable} with the request's [deadline_s]
+      (clamped to [max_deadline_s]); an expired annealing search
+      suspends to a crash-safe checkpoint under [state_dir] and replies
+      [status="suspended"] with a resume token instead of hogging a
+      worker slot.
+    - {b Stall containment}: per-connection read/write timeouts and a
+      [max_frame] guard bound what any single client can consume; a
+      stalled or oversized frame costs one worker slot for at most
+      [read_timeout_s], never the accept loop.
+    - {b Crash containment}: a handler raising (including
+      [serve.handle] injected faults) produces one [internal] error
+      reply on that connection and the daemon keeps serving.
+    - {b Graceful drain}: {!request_shutdown} (wired to SIGTERM/SIGINT
+      by bin/mdhd) stops accepting, lets in-flight work finish or
+      suspend (tune handlers poll the drain flag as their
+      [should_stop]), flushes the ambient tuning database, removes the
+      socket file, and {!serve} returns — the daemon then exits 0.
+
+    Fault sites [serve.accept], [serve.read], [serve.write] and
+    [serve.handle] thread the whole path through {!Mdh_fault.Fault} for
+    deterministic chaos testing. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path *)
+  workers : int;  (** handler threads (default 4) *)
+  max_queue : int;  (** admitted-but-unserved connections beyond the
+                        busy workers; above it the accept loop sheds *)
+  read_timeout_s : float;  (** per-connection idle read budget *)
+  write_timeout_s : float;  (** per-reply write budget *)
+  max_frame : int;  (** request line size cap, bytes *)
+  max_deadline_s : float option;
+      (** server-wide cap on per-request tune deadlines; [None] = only
+          client-supplied deadlines apply *)
+  state_dir : string option;
+      (** checkpoint-token directory; default [socket ^ ".state"] *)
+}
+
+val default_config : socket:string -> config
+(** workers 4, queue 16, 10 s read/write timeouts, 1 MiB frames, no
+    deadline cap. *)
+
+type t
+
+val create : config -> (t, string) result
+(** Bind and listen. A stale socket file left by a crashed daemon is
+    detected (nothing accepts on it) and replaced; a live one is
+    [Error "... already serving"]. Creates [state_dir]. *)
+
+val serve : t -> unit
+(** Run the accept loop and handler threads until {!request_shutdown},
+    then drain as described above and return. Call from the thread that
+    should own the daemon's lifetime (bin/mdhd calls it from [main]
+    with signal handlers installed around it). *)
+
+val request_shutdown : t -> unit
+(** Begin graceful drain; safe to call from a signal handler or any
+    thread (it only flips an atomic — all wake-ups happen in
+    {!serve}). Idempotent. *)
+
+val draining : t -> bool
+
+val served : t -> int
+(** Requests dispatched over the daemon's lifetime. *)
+
+val state_dir : t -> string

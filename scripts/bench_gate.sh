@@ -1,5 +1,5 @@
 #!/bin/sh
-# CI perf-regression gate: regenerate the two bench artifacts and hold
+# CI perf-regression gate: regenerate the three bench artifacts and hold
 # them against the committed baselines (scripts/bench_baselines.json).
 #
 #   ./scripts/bench_gate.sh
@@ -8,7 +8,10 @@
 #   - the specializer's speedup over the interp walker drops below
 #     committed * speedup_tolerance on any gated workload, or
 #   - the cost-model accuracy report is missing, or its rank correlation
-#     collapses below the committed floors.
+#     collapses below the committed floors, or
+#   - the mdhd serving bench misses its throughput floor, sheds more than
+#     the committed ceiling, or sees error replies at any concurrency
+#     level.
 #
 # Deliberately not part of check.sh (tier-1 stays fast and timing-free);
 # CI runs it as its own step after the test suite.
@@ -19,4 +22,5 @@ cd "$(dirname "$0")/.."
 dune build bench/main.exe
 dune exec bench/main.exe -- plan-exec
 dune exec bench/main.exe -- model-acc
+dune exec bench/main.exe -- serve
 dune exec bench/main.exe -- gate scripts/bench_baselines.json

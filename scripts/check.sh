@@ -41,7 +41,8 @@ fi
 
 tracked_obs=$(git ls-files -- 'BENCH_obs.json' '**/BENCH_obs.json' '*.trace.json' \
     'BENCH_plan_exec.json' '**/BENCH_plan_exec.json' \
-    'BENCH_model_acc.json' '**/BENCH_model_acc.json' '*.folded' || true)
+    'BENCH_model_acc.json' '**/BENCH_model_acc.json' '*.folded' \
+    'BENCH_serve.json' '**/BENCH_serve.json' '*.sock' || true)
 if [ -n "$tracked_obs" ]; then
     echo "error: observability artifacts are tracked by git:" >&2
     echo "$tracked_obs" | head -10 >&2
@@ -171,5 +172,112 @@ grep -v 'wall)\|^cost model:' "$chaos_dir/ref.txt" > "$chaos_dir/ref.cmp"
 grep -v 'wall)\|^cost model:' "$chaos_dir/resumed.txt" > "$chaos_dir/resumed.cmp"
 diff -u "$chaos_dir/ref.cmp" "$chaos_dir/resumed.cmp" > /dev/null || {
     echo "error: resumed tune differs from the uninterrupted run" >&2; exit 1; }
+
+# serve stage: the mdhd daemon must keep serving under injected
+# transport faults, drain gracefully on SIGTERM (suspending an in-flight
+# tune to a checkpoint), resume that tune bit-identically after a
+# restart, and leak neither socket nor checkpoint files.
+
+MDHD=./_build/default/bin/mdhd.exe
+MDHC_BIN=./_build/default/bin/mdhc.exe
+serve_sock="$chaos_dir/mdhd.sock"
+serve_state="$chaos_dir/mdhd-state"
+
+wait_for_daemon() { # pid
+    i=0
+    while [ ! -S "$serve_sock" ]; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || { echo "error: mdhd never bound $serve_sock" >&2; exit 1; }
+        kill -0 "$1" 2> /dev/null || { echo "error: mdhd died during startup" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+# part 1: chaos — every 3rd connection's read raises in the daemon; the
+# transport error is absorbed (one failed client, a served successor)
+# and after a burst of concurrent clients the daemon still answers.
+MDH_FAULTS='serve.read:raise@3' "$MDHD" --socket "$serve_sock" \
+    --state-dir "$serve_state" --tuning-db "$chaos_dir/serve.db" \
+    > "$chaos_dir/mdhd1.log" 2>&1 &
+mdhd_pid=$!
+wait_for_daemon "$mdhd_pid"
+client_pids=
+for i in 1 2 3 4 5 6; do
+    "$MDHC_BIN" plan matvec --device cpu --remote "$serve_sock" \
+        > "$chaos_dir/serve_plan.$i" 2>&1 &
+    client_pids="$client_pids $!"
+done
+for pid in $client_pids; do wait "$pid" || true; done
+served=$(grep -l 'digest' "$chaos_dir"/serve_plan.* | wc -l)
+[ "$served" -ge 4 ] || {
+    echo "error: only $served/6 clients served under serve.read chaos" >&2; exit 1; }
+"$MDHC_BIN" plan matvec --device cpu --remote "$serve_sock" > /dev/null || {
+    echo "error: mdhd stopped serving after injected read faults" >&2; exit 1; }
+kill -TERM "$mdhd_pid"
+wait "$mdhd_pid" || {
+    echo "error: mdhd (chaos) did not exit 0 on SIGTERM" >&2; exit 1; }
+[ ! -e "$serve_sock" ] || {
+    echo "error: mdhd (chaos) leaked its socket file" >&2; exit 1; }
+
+# part 2: SIGTERM mid-tune. Slow the daemon's cost model with injected
+# delays (500 ms every 5th evaluation — delays never change schedules),
+# land SIGTERM while a remote anneal is in flight: the client must see a suspension (exit 3), the
+# daemon must drain to exit 0, and a restarted daemon must resume the
+# checkpoint to a result bit-identical to an uninterrupted local tune.
+"$MDHC_BIN" tune matvec --strategy anneal --budget 2000 --seed 9 \
+    --no-cache > "$chaos_dir/serve_ref.txt" 2> /dev/null
+MDH_FAULTS='cost.eval:delay=500/5' "$MDHD" --socket "$serve_sock" \
+    --state-dir "$serve_state" --tuning-db "$chaos_dir/serve.db" \
+    > "$chaos_dir/mdhd2.log" 2>&1 &
+mdhd_pid=$!
+wait_for_daemon "$mdhd_pid"
+rc_file="$chaos_dir/tune_rc"
+( rc=0
+  "$MDHC_BIN" tune matvec --strategy anneal --budget 2000 --seed 9 \
+    --no-cache --remote "$serve_sock" > /dev/null 2> "$chaos_dir/suspend.err" ||
+    rc=$?
+  echo "$rc" > "$rc_file" ) &
+client_pid=$!
+sleep 1
+kill -TERM "$mdhd_pid"
+wait "$mdhd_pid" || {
+    echo "error: mdhd did not drain to exit 0 on SIGTERM mid-tune" >&2; exit 1; }
+wait "$client_pid" || true
+rc=$(cat "$rc_file")
+if [ "$rc" -ne 3 ]; then
+    echo "error: remote tune under SIGTERM exited $rc, expected 3 (suspended)" >&2
+    cat "$chaos_dir/suspend.err" >&2
+    exit 1
+fi
+[ ! -e "$serve_sock" ] || {
+    echo "error: mdhd leaked its socket file after drain" >&2; exit 1; }
+ls "$serve_state"/*.ckpt > /dev/null 2>&1 || {
+    echo "error: suspended tune left no checkpoint in $serve_state" >&2; exit 1; }
+
+"$MDHD" --socket "$serve_sock" --state-dir "$serve_state" \
+    --tuning-db "$chaos_dir/serve.db" > "$chaos_dir/mdhd3.log" 2>&1 &
+mdhd_pid=$!
+wait_for_daemon "$mdhd_pid"
+"$MDHC_BIN" tune matvec --strategy anneal --budget 2000 --seed 9 \
+    --no-cache --remote "$serve_sock" --resume \
+    > "$chaos_dir/serve_resumed.txt" 2> /dev/null || {
+    echo "error: remote --resume after daemon restart failed" >&2; exit 1; }
+grep '^best schedule:\|^estimated time:' "$chaos_dir/serve_ref.txt" \
+    > "$chaos_dir/serve_ref.cmp"
+grep '^best schedule:\|^estimated time:' "$chaos_dir/serve_resumed.txt" \
+    > "$chaos_dir/serve_resumed.cmp"
+diff -u "$chaos_dir/serve_ref.cmp" "$chaos_dir/serve_resumed.cmp" || {
+    echo "error: resumed remote tune differs from the uninterrupted local run" >&2
+    exit 1; }
+if ls "$serve_state"/*.ckpt > /dev/null 2>&1; then
+    echo "error: completed remote tune leaked checkpoint files:" >&2
+    ls "$serve_state" >&2
+    exit 1
+fi
+kill -TERM "$mdhd_pid"
+wait "$mdhd_pid" || {
+    echo "error: mdhd (resume) did not exit 0 on SIGTERM" >&2; exit 1; }
+[ ! -e "$serve_sock" ] || {
+    echo "error: mdhd (resume) leaked its socket file" >&2; exit 1; }
 
 echo "check.sh: OK"

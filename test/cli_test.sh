@@ -105,7 +105,7 @@ fi
 # --- mdhc check: the static diagnostics engine ---
 
 # this PR's version
-grep -q '^1\.7\.0' "$tmp/version.txt" || fail "--version is not 1.7.0"
+grep -q '^1\.8\.0' "$tmp/version.txt" || fail "--version is not 1.8.0"
 
 # --- mdhc plan: the executable IR, printed and fingerprinted ---
 
@@ -154,6 +154,31 @@ fi
 if MDH_FAULTS='cost.eval:explode' "$MDHC" list >/dev/null 2>&1; then
   fail "bad MDH_FAULTS spec exited 0"
 fi
+
+# trigger-syntax edge cases each die with their *named* diagnostic, so a
+# typo'd chaos spec is debuggable from the error alone
+inject_diag() { # spec expected-fragment
+  if "$MDHC" tune matmul --no-cache --budget 5 --inject "$1" \
+    >/dev/null 2>"$tmp/inject.err"; then
+    fail "--inject '$1' exited 0"
+  fi
+  grep -q "$2" "$tmp/inject.err" ||
+    fail "--inject '$1' did not mention '$2' (got: $(cat "$tmp/inject.err"))"
+}
+inject_diag 'cost.eval:raise@0' 'bad hit index'
+inject_diag 'cost.eval:raise@-1' 'bad hit index'
+inject_diag 'cost.eval:raise/0' 'bad repeat count'
+inject_diag 'serve.reed:raise' 'unknown site'
+inject_diag 'SERVE.READ:raise' 'unknown site'
+# the unknown-site diagnostic enumerates the valid sites, serve.* included
+inject_diag 'nope:raise' 'serve.handle'
+
+# --remote to a socket nobody serves is a clean, named failure
+if "$MDHC" tune matmul --remote "$tmp/no-such.sock" >/dev/null 2>"$tmp/remote.err"; then
+  fail "--remote to a dead socket exited 0"
+fi
+grep -q 'is the daemon running?' "$tmp/remote.err" ||
+  fail "--remote failure does not point at the daemon"
 
 # a one-shot injected cost fault in a parallel fan-out degrades
 # gracefully: same schedule as the fault-free run, exit 0 (sequential

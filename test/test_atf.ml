@@ -310,6 +310,46 @@ let test_tuning_db_tolerates_garbage () =
       | Ok t -> check Alcotest.bool "still tunes" false t.Tuner.from_db
       | Error e -> Alcotest.fail e)
 
+(* regression: [Unix.lockf] is held per-process, so before the db's
+   in-process io mutex, a store's O_APPEND write racing another domain's
+   compact could land on the pre-rename inode and vanish. Hammer the
+   same handle from several domains, with compactions interleaved, and
+   require every entry to survive on disk. *)
+let test_tuning_db_concurrent_writers_keep_entries () =
+  with_temp_db (fun db ->
+      let md = W.to_md_hom Mdh_workloads.Linalg.dot [ ("K", 1024) ] in
+      let sched = Schedule.sequential md in
+      let n_domains = 4 and per_domain = 24 in
+      let writer d () =
+        for i = 0 to per_domain - 1 do
+          Tuning_db.store db (Printf.sprintf "key-%d-%d" d i) sched
+            (float_of_int ((d * per_domain) + i));
+          if i mod 5 = 0 then Tuning_db.compact db
+        done
+      in
+      let domains = List.init n_domains (fun d -> Domain.spawn (writer d)) in
+      List.iter Domain.join domains;
+      Tuning_db.compact db;
+      let expected = n_domains * per_domain in
+      check Alcotest.int "all entries in memory" expected (Tuning_db.size db);
+      (* the real assertion: the *file* kept every line too *)
+      let reloaded = Tuning_db.open_db (Option.get (Tuning_db.path db)) in
+      check Alcotest.int "all entries survived on disk" expected
+        (Tuning_db.size reloaded);
+      List.iter
+        (fun d ->
+          for i = 0 to per_domain - 1 do
+            let key = Printf.sprintf "key-%d-%d" d i in
+            match Tuning_db.find reloaded key with
+            | Some (_, cost) ->
+              check (Alcotest.float 1e-12)
+                (key ^ " cost")
+                (float_of_int ((d * per_domain) + i))
+                cost
+            | None -> Alcotest.fail ("lost entry " ^ key)
+          done)
+        (List.init n_domains Fun.id))
+
 let test_cost_cache_absorbs_repeat_tuning () =
   let md = W.to_md_hom Mdh_workloads.Linalg.matmul [ ("I", 512); ("J", 512); ("K", 512) ] in
   let tune () =
@@ -362,5 +402,7 @@ let suite =
       tc "tuning db key distinguishes searches" `Quick
         test_tuning_db_key_distinguishes_searches;
       tc "tuning db tolerates garbage" `Quick test_tuning_db_tolerates_garbage;
+      tc "tuning db concurrent writers keep entries" `Quick
+        test_tuning_db_concurrent_writers_keep_entries;
       tc "cost cache absorbs repeat tuning" `Quick
         test_cost_cache_absorbs_repeat_tuning ] )

@@ -63,6 +63,46 @@ let test_parse_errors () =
     [ "bogus.site:raise"; "cost.eval:explode"; "cost.eval:raise@x"; "cost.eval";
       ""; "cost.eval:raise@0"; "db.write:truncate" ]
 
+(* trigger-syntax edge cases carry *named* diagnostics: scripts (and the
+   cli_test.sh pin) rely on the operator seeing what was wrong, not just
+   a rejection *)
+let test_parse_error_diagnostics () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let expect spec fragment =
+    match Fault.parse spec with
+    | Ok _ -> Alcotest.fail ("accepted bad spec: " ^ spec)
+    | Error e ->
+      if not (contains e fragment) then
+        Alcotest.fail
+          (Printf.sprintf "spec %S: diagnostic %S does not name %S" spec e
+             fragment)
+  in
+  expect "cost.eval:raise@0" "bad hit index";
+  expect "cost.eval:raise@-1" "bad hit index";
+  expect "serve.read:raise@" "bad hit index";
+  expect "cost.eval:raise@1/0" "bad repeat count";
+  expect "serve.handle:delay=10/-2" "bad repeat count";
+  expect "serve.reed:raise" "unknown site";
+  expect "Serve.read:raise" "unknown site";
+  (* the unknown-site diagnostic enumerates what IS known *)
+  expect "nope:raise" "serve.handle"
+
+let test_parse_serve_sites () =
+  List.iter
+    (fun site ->
+      match Fault.parse (site ^ ":raise@2/3") with
+      | Ok [ t ] ->
+        check Alcotest.string "site" site t.Fault.site;
+        check Alcotest.int "at" 2 t.Fault.at;
+        check Alcotest.bool "every" true (t.Fault.every = Some 3)
+      | Ok _ -> Alcotest.fail "wrong clause count"
+      | Error e -> Alcotest.fail (site ^ ": " ^ e))
+    [ "serve.accept"; "serve.read"; "serve.write"; "serve.handle" ]
+
 let test_disarmed_noop () =
   Fault.disarm ();
   check Alcotest.bool "disarmed" false (Fault.armed ());
@@ -419,6 +459,10 @@ let suite =
   ( "fault",
     [ Alcotest.test_case "spec: parse round-trip" `Quick test_parse_spec;
       Alcotest.test_case "spec: bad specs rejected" `Quick test_parse_errors;
+      Alcotest.test_case "spec: edge cases carry named diagnostics" `Quick
+        test_parse_error_diagnostics;
+      Alcotest.test_case "spec: serve.* sites parse" `Quick
+        test_parse_serve_sites;
       Alcotest.test_case "disarmed hooks are no-ops" `Quick test_disarmed_noop;
       Alcotest.test_case "raise fires at exact hit" `Quick test_raise_at_exact_hit;
       Alcotest.test_case "repeating trigger" `Quick test_repeating_trigger;

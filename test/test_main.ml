@@ -23,4 +23,5 @@ let () =
       Test_obs.suite;
       Test_rewrite.suite;
       Test_profile.suite;
-      Test_analysis.suite ]
+      Test_analysis.suite;
+      Test_serve.suite ]
